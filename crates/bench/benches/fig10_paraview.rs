@@ -1,0 +1,24 @@
+//! Criterion bench for the Fig. 10 reproduction: RICSA's optimal loop vs the
+//! ParaView-style deployment at reduced dataset scale (the full-scale table
+//! comes from the `fig10_paraview` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ricsa_bench::bench_scale_options;
+use ricsa_core::experiment::{run_loop_experiment, LoopSpec};
+use ricsa_vizdata::dataset::DatasetKind;
+
+fn bench_fig10(c: &mut Criterion) {
+    let options = bench_scale_options();
+    let loops = LoopSpec::fig10_loops(1.35);
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    for (spec, label) in loops.iter().zip(["ricsa-optimal", "paraview-crs"]) {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| run_loop_experiment(spec, DatasetKind::Jet, &options).measured_delay)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

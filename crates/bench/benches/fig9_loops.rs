@@ -1,0 +1,50 @@
+//! Criterion bench for the Fig. 9 reproduction.
+//!
+//! Benchmarks (a) the CM-side planning step (pipeline construction + DP
+//! optimization) for every dataset, and (b) the end-to-end simulated loop at
+//! reduced dataset scale so `cargo bench` stays fast; the full-scale figure
+//! is produced by the `fig9_loops` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ricsa_bench::bench_scale_options;
+use ricsa_core::catalog::{standard_pipeline, SimulationCatalog};
+use ricsa_core::experiment::{run_loop_experiment, LoopSpec};
+use ricsa_netsim::presets::{fig8_topology, Fig8Site};
+use ricsa_pipemap::dp::optimize;
+use ricsa_pipemap::network::NetGraph;
+use ricsa_vizdata::dataset::DatasetKind;
+
+fn bench_planning(c: &mut Criterion) {
+    let fig8 = fig8_topology();
+    let graph = NetGraph::from_topology(&fig8.topology);
+    let catalog = SimulationCatalog::default();
+    let src = graph.index_of(fig8.node(Fig8Site::GaTech));
+    let dst = graph.index_of(fig8.node(Fig8Site::Ornl));
+    let mut group = c.benchmark_group("fig9/planning");
+    for kind in DatasetKind::ALL {
+        let bytes = catalog.datasets.get(kind).nominal_bytes();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &bytes, |b, &bytes| {
+            b.iter(|| {
+                let pipeline = standard_pipeline(bytes, &catalog.costs);
+                optimize(&pipeline, &graph, src, dst).unwrap().delay.total
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulated_loops(c: &mut Criterion) {
+    let options = bench_scale_options();
+    let loops = LoopSpec::fig9_loops();
+    let mut group = c.benchmark_group("fig9/simulated-loop");
+    group.sample_size(10);
+    for (index, label) in [(0usize, "optimal"), (4usize, "pc-pc")] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| run_loop_experiment(&loops[index], DatasetKind::Jet, &options).measured_delay)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planning, bench_simulated_loops);
+criterion_main!(benches);

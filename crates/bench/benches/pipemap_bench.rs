@@ -1,0 +1,78 @@
+//! Criterion bench for the pipeline-mapping optimizer (Section 4.5):
+//! DP optimization cost as the network and pipeline grow, compared against
+//! exhaustive search and the greedy/fixed baselines on the Fig. 8 instance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ricsa_core::catalog::{standard_pipeline, SimulationCatalog};
+use ricsa_netsim::presets::{fig8_topology, Fig8Site};
+use ricsa_pipemap::baselines::{client_server_mapping, greedy_mapping};
+use ricsa_pipemap::dp::optimize;
+use ricsa_pipemap::exhaustive::exhaustive_optimal;
+use ricsa_pipemap::network::NetGraph;
+use ricsa_pipemap::pipeline::{ModuleSpec, Pipeline};
+
+fn random_instance(seed: u64, n_nodes: usize, n_modules: usize) -> (Pipeline, NetGraph) {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut g = NetGraph::new();
+    for i in 0..n_nodes {
+        g.add_node(format!("n{i}"), 0.5 + 6.0 * next(), true);
+    }
+    for a in 0..n_nodes {
+        for b in (a + 1)..n_nodes {
+            if b == a + 1 || next() < 0.3 {
+                g.add_bidirectional(a, b, 1e6 + 20e6 * next(), 0.002 + 0.03 * next());
+            }
+        }
+    }
+    let modules = (0..n_modules)
+        .map(|k| ModuleSpec::new(format!("m{k}"), 1e-9 + 1e-7 * next(), 1e4 + 4e6 * next()))
+        .collect();
+    (Pipeline::new("random", 1e6 + 60e6 * next(), modules), g)
+}
+
+fn bench_dp_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipemap/dp-scaling");
+    for &n_nodes in &[8usize, 16, 32, 64] {
+        let (p, g) = random_instance(11, n_nodes, 6);
+        group.bench_with_input(BenchmarkId::from_parameter(n_nodes), &n_nodes, |b, _| {
+            b.iter(|| optimize(&p, &g, 0, n_nodes - 1))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dp_vs_exhaustive(c: &mut Criterion) {
+    let (p, g) = random_instance(5, 5, 4);
+    let mut group = c.benchmark_group("pipemap/optimizers");
+    group.bench_function("dp", |b| b.iter(|| optimize(&p, &g, 0, 4)));
+    group.bench_function("exhaustive", |b| b.iter(|| exhaustive_optimal(&p, &g, 0, 4, 8)));
+    group.bench_function("greedy", |b| b.iter(|| greedy_mapping(&p, &g, 0, 4)));
+    group.finish();
+}
+
+fn bench_fig8_planning(c: &mut Criterion) {
+    let fig8 = fig8_topology();
+    let graph = NetGraph::from_topology(&fig8.topology);
+    let catalog = SimulationCatalog::default();
+    let pipeline = standard_pipeline(
+        catalog.datasets.get(ricsa_vizdata::dataset::DatasetKind::Rage).nominal_bytes(),
+        &catalog.costs,
+    );
+    let src = graph.index_of(fig8.node(Fig8Site::GaTech));
+    let dst = graph.index_of(fig8.node(Fig8Site::Ornl));
+    let mut group = c.benchmark_group("pipemap/fig8");
+    group.bench_function("dp-optimal", |b| b.iter(|| optimize(&pipeline, &graph, src, dst)));
+    group.bench_function("client-server", |b| {
+        b.iter(|| client_server_mapping(&pipeline, &graph, src, dst))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp_scaling, bench_dp_vs_exhaustive, bench_fig8_planning);
+criterion_main!(benches);

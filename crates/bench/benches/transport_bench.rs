@@ -1,0 +1,70 @@
+//! Criterion bench for the transport stabilization ablation (Section 3):
+//! Robbins–Monro vs AIMD vs fixed-rate senders on a lossy WAN link, and the
+//! pure controller update cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ricsa_netsim::link::LinkSpec;
+use ricsa_netsim::loss::LossModel;
+use ricsa_netsim::node::NodeSpec;
+use ricsa_netsim::time::SimTime;
+use ricsa_netsim::topology::Topology;
+use ricsa_transport::flow::FlowConfig;
+use ricsa_transport::harness::{run_flow, ControllerChoice, FlowExperiment};
+use ricsa_transport::rm::{RmController, RmParams};
+
+fn bench_controller_update(c: &mut Criterion) {
+    c.bench_function("transport/rm-update", |b| {
+        let mut controller = RmController::new(RmParams::for_target(1e6));
+        let mut g = 0.5e6;
+        b.iter(|| {
+            g = 0.9e6 + (g * 7.0) % 0.2e6;
+            controller.update(g)
+        })
+    });
+}
+
+fn bench_flows(c: &mut Criterion) {
+    let build = || {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeSpec::workstation("a", 1.0));
+        let b = t.add_node(NodeSpec::workstation("b", 1.0));
+        t.connect(
+            a,
+            b,
+            LinkSpec::from_mbps(45.0, 0.02)
+                .with_loss(LossModel::Bernoulli { p: 0.005 })
+                .with_queue_delay(0.5),
+        );
+        (t, a, b)
+    };
+    let mut group = c.benchmark_group("transport/2MB-transfer");
+    group.sample_size(10);
+    for (label, choice) in [
+        ("robbins-monro", ControllerChoice::RobbinsMonro { target_bps: 3e6 }),
+        ("aimd", ControllerChoice::Aimd),
+        ("fixed-rate", ControllerChoice::FixedRate { rate_bps: 3e6 }),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let (t, src, dst) = build();
+                run_flow(FlowExperiment {
+                    topology: t,
+                    src,
+                    dst,
+                    config: FlowConfig {
+                        message_bytes: Some(2 << 20),
+                        ..FlowConfig::default()
+                    },
+                    controller: choice.clone(),
+                    duration: SimTime::from_secs(30.0),
+                    seed: 3,
+                })
+                .completion_time
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_controller_update, bench_flows);
+criterion_main!(benches);

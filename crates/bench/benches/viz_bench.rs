@@ -1,0 +1,66 @@
+//! Criterion bench for the visualization algorithms and their cost-model
+//! ablations: block size for isosurface extraction, sequential vs parallel
+//! extraction, ray casting and streamline tracing throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ricsa_viz::camera::Camera;
+use ricsa_viz::isosurface::{extract_block, extract_isosurface};
+use ricsa_viz::raycast::{raycast, RaycastConfig};
+use ricsa_viz::streamline::{grid_seeds, trace_streamlines, StreamlineConfig};
+use ricsa_viz::transfer::TransferFunction;
+use ricsa_vizdata::field::Dims;
+use ricsa_vizdata::octree::Octree;
+use ricsa_vizdata::synth::{SyntheticVolume, VolumeKind};
+
+fn bench_isosurface_block_size(c: &mut Criterion) {
+    let field = SyntheticVolume::new(VolumeKind::BlastWave, Dims::cube(48), 9).generate();
+    let mut group = c.benchmark_group("viz/isosurface-block-size");
+    for &block in &[4usize, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(block), &block, |b, &block| {
+            b.iter(|| extract_isosurface(&field, 0.6, block).mesh.triangle_count())
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_vs_sequential(c: &mut Criterion) {
+    let field = SyntheticVolume::new(VolumeKind::Jet, Dims::cube(48), 10).generate();
+    let octree = Octree::build(&field, 8);
+    let iso = 0.5;
+    let mut group = c.benchmark_group("viz/extraction-parallelism");
+    group.bench_function("rayon-parallel", |b| {
+        b.iter(|| extract_isosurface(&field, iso, 8).mesh.triangle_count())
+    });
+    group.bench_function("sequential-blocks", |b| {
+        b.iter(|| {
+            octree
+                .active_blocks(iso)
+                .iter()
+                .map(|blk| extract_block(&field, blk, iso).0.triangle_count())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_raycast_and_streamlines(c: &mut Criterion) {
+    let field = SyntheticVolume::new(VolumeKind::RadialRamp, Dims::cube(32), 2).generate();
+    let tf = TransferFunction::grayscale_ramp(-1.0, 1.0);
+    c.bench_function("viz/raycast-96px", |b| {
+        let cam = Camera::with_viewport(96, 96);
+        b.iter(|| raycast(&field, &cam, &tf, &RaycastConfig::default()).1.samples)
+    });
+    let vec_field = SyntheticVolume::new(VolumeKind::Jet, Dims::cube(32), 3).generate_vector();
+    c.bench_function("viz/streamlines-64-seeds", |b| {
+        let seeds = grid_seeds(&vec_field, 8, 1.0);
+        b.iter(|| trace_streamlines(&vec_field, &seeds, &StreamlineConfig::default()).total_steps())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_isosurface_block_size,
+    bench_parallel_vs_sequential,
+    bench_raycast_and_streamlines
+);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Supplementary experiment for Sections 4.3–4.4: accuracy of the
+//! cost models that feed the optimizer — the EPB linear-regression
+//! bandwidth estimate and the isosurface / ray-casting / streamline
+//! processing-time models.
+//!
+//! Usage: `cargo run --release -p ricsa-bench --bin cost_models`
+
+use ricsa_netsim::link::LinkSpec;
+use ricsa_netsim::node::NodeSpec;
+use ricsa_netsim::topology::Topology;
+use ricsa_transport::epb::{measure_path, ActiveMeasurementConfig};
+use ricsa_viz::camera::Camera;
+use ricsa_viz::cost::{IsosurfaceCostModel, RaycastCostModel, StreamlineCostModel};
+use ricsa_viz::isosurface::extract_isosurface;
+use ricsa_viz::raycast::{raycast, RaycastConfig};
+use ricsa_viz::streamline::{grid_seeds, trace_streamlines, StreamlineConfig};
+use ricsa_viz::transfer::TransferFunction;
+use ricsa_vizdata::field::Dims;
+use ricsa_vizdata::octree::Octree;
+use ricsa_vizdata::synth::{SyntheticVolume, VolumeKind};
+use std::time::Instant;
+
+fn main() {
+    // --- Effective path bandwidth regression (Section 4.3). ---
+    println!("EPB active-measurement regression vs configured link bandwidth:");
+    println!("{:>14}{:>18}{:>18}{:>10}", "link (MB/s)", "estimated (MB/s)", "min delay (ms)", "R^2");
+    for &mbps in &[10.0, 40.0, 100.0] {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeSpec::workstation("a", 1.0));
+        let b = t.add_node(NodeSpec::workstation("b", 1.0));
+        t.connect(a, b, LinkSpec::from_mbps(mbps, 0.02).with_queue_delay(2.0));
+        let est = measure_path(&t, a, b, &ActiveMeasurementConfig::default(), 5)
+            .expect("measurement succeeds");
+        println!(
+            "{:>14.2}{:>18.2}{:>18.2}{:>10.3}",
+            mbps / 8.0,
+            est.epb_bps / 1e6,
+            est.min_delay * 1e3,
+            est.r_squared
+        );
+    }
+
+    // --- Isosurface extraction model (Section 4.4.1). ---
+    println!("\nIsosurface extraction: predicted vs measured (fresh volumes):");
+    let iso_model = IsosurfaceCostModel::calibrate(28, 4, 8);
+    println!("{:>12}{:>12}{:>16}{:>16}{:>10}", "volume", "isovalue", "predicted (ms)", "measured (ms)", "ratio");
+    for (kind, frac) in [
+        (VolumeKind::BlastWave, 0.5),
+        (VolumeKind::Jet, 0.4),
+        (VolumeKind::NestedShells, 0.6),
+    ] {
+        let field = SyntheticVolume::new(kind, Dims::cube(48), 77).generate();
+        let octree = Octree::build(&field, 8);
+        let (lo, hi) = field.value_range();
+        let iso = lo + frac * (hi - lo);
+        let active = octree.active_block_count(iso);
+        let predicted = iso_model.predict_extraction(active, octree.cells_per_block(), 1.0);
+        let start = Instant::now();
+        let _ = extract_isosurface(&field, iso, 8);
+        let measured = start.elapsed().as_secs_f64();
+        println!(
+            "{:>12}{:>12.3}{:>16.2}{:>16.2}{:>10.2}",
+            format!("{kind:?}"),
+            iso,
+            predicted * 1e3,
+            measured * 1e3,
+            predicted / measured.max(1e-9)
+        );
+    }
+
+    // --- Ray casting model (Section 4.4.2). ---
+    let rc_model = RaycastCostModel::calibrate(24);
+    let field = SyntheticVolume::new(VolumeKind::RadialRamp, Dims::cube(40), 3).generate();
+    let cam = Camera::with_viewport(96, 96);
+    let tf = TransferFunction::grayscale_ramp(-1.0, 1.0);
+    let start = Instant::now();
+    let (_, stats) = raycast(&field, &cam, &tf, &RaycastConfig::without_early_termination());
+    let measured = start.elapsed().as_secs_f64();
+    let predicted = rc_model.predict(1, stats.rays, (stats.samples / stats.rays as u64) as usize, 1.0);
+    println!(
+        "\nRay casting:   predicted {:.2} ms, measured {:.2} ms (t_sample = {:.2} ns)",
+        predicted * 1e3,
+        measured * 1e3,
+        rc_model.t_sample * 1e9
+    );
+
+    // --- Streamline model (Section 4.4.3). ---
+    let sl_model = StreamlineCostModel::calibrate(24);
+    let vec_field = SyntheticVolume::new(VolumeKind::Jet, Dims::cube(32), 4).generate_vector();
+    let seeds = grid_seeds(&vec_field, 12, 1.0);
+    let config = StreamlineConfig::default();
+    let start = Instant::now();
+    let set = trace_streamlines(&vec_field, &seeds, &config);
+    let measured = start.elapsed().as_secs_f64();
+    let predicted = sl_model.predict(seeds.len(), set.total_steps() / seeds.len().max(1), 1.0);
+    println!(
+        "Streamlines:   predicted {:.2} ms, measured {:.2} ms (T_advection = {:.2} ns)",
+        predicted * 1e3,
+        measured * 1e3,
+        sl_model.t_advection * 1e9
+    );
+}

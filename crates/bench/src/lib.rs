@@ -1,0 +1,57 @@
+//! Shared helpers for the RICSA benchmark harness.
+//!
+//! The benches and binaries in this crate regenerate the paper's evaluation:
+//! the Fig. 9 loop comparison, the Fig. 10 ParaView comparison, and the
+//! supplementary transport-stabilization, optimizer-scaling and cost-model
+//! experiments listed in DESIGN.md §4.
+
+use ricsa_core::experiment::ExperimentOptions;
+use ricsa_netsim::time::SimTime;
+
+/// Experiment options for full-scale (paper-size) runs, used by the
+/// binaries that regenerate the figures.
+pub fn full_scale_options() -> ExperimentOptions {
+    ExperimentOptions::default()
+}
+
+/// Experiment options for reduced-scale runs, used inside Criterion
+/// iteration loops so that `cargo bench` completes in minutes: dataset
+/// sizes are 1/64th of the paper's, which keeps the simulated loop structure
+/// identical while shrinking the event count.
+pub fn bench_scale_options() -> ExperimentOptions {
+    ExperimentOptions {
+        size_scale: 1.0 / 64.0,
+        max_virtual_time: SimTime::from_secs(120.0),
+        ..ExperimentOptions::default()
+    }
+}
+
+/// Render a labelled series (the paper's bar charts) as aligned text rows.
+pub fn format_series(title: &str, rows: &[(String, f64)]) -> String {
+    let mut out = format!("{title}\n");
+    for (label, value) in rows {
+        out.push_str(&format!("  {label:<56}{value:>12.3}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_presets_differ_in_scale_only() {
+        let full = full_scale_options();
+        let quick = bench_scale_options();
+        assert_eq!(full.size_scale, 1.0);
+        assert!(quick.size_scale < 0.05);
+        assert_eq!(full.iterations, quick.iterations);
+    }
+
+    #[test]
+    fn series_formatting_includes_labels_and_values() {
+        let s = format_series("t", &[("a".into(), 1.0), ("b".into(), 2.5)]);
+        assert!(s.contains("a"));
+        assert!(s.contains("2.500"));
+    }
+}

@@ -1,0 +1,38 @@
+//! The RICSA framework: roles, protocol, steering sessions and experiments.
+//!
+//! This crate ties the substrates together into the system of the paper's
+//! Fig. 1: an Ajax client / front end, a central-management (CM) node, a
+//! simulation/data-source (DS) node and computing-service (CS) nodes,
+//! connected by a control channel (steering and visualization parameters)
+//! and a data channel (datasets, geometry, images) over the simulated
+//! wide-area network.
+//!
+//! * [`message`] — the control-protocol messages exchanged over the loop,
+//! * [`catalog`] — the simulation/dataset catalog and standard pipeline
+//!   construction from calibrated cost models,
+//! * [`stage`] — the pipeline-stage application (data source, computing
+//!   service, client) that moves data around the loop with the
+//!   Robbins–Monro transport and simulates module processing times,
+//! * [`roles`] — the client/front-end and central-management applications,
+//! * [`session`] — assembling one steering session on a topology,
+//! * [`experiment`] — the Fig. 9 / Fig. 10 experiment drivers,
+//! * [`api`] — the `Ricsa*` simulation-side API mirroring the six calls the
+//!   paper inserts into VH1 (Fig. 7), used by the web front end and the
+//!   examples to steer a live in-process simulation.
+
+pub mod api;
+pub mod catalog;
+pub mod experiment;
+pub mod message;
+pub mod roles;
+pub mod session;
+pub mod stage;
+
+pub use api::{SimulationCommand, SimulationServer, SimulationStatus};
+pub use catalog::{standard_pipeline, SessionSpec, SimulationCatalog};
+pub use experiment::{
+    fig10_experiment, fig9_experiment, run_loop_experiment, Fig10Row, Fig9Row, LoopResult,
+    LoopSpec,
+};
+pub use message::ControlMessage;
+pub use session::{SessionPlan, SteeringSession};

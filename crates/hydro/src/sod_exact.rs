@@ -1,0 +1,250 @@
+//! Exact solution of the Sod shock-tube problem.
+//!
+//! Used to validate the numerical solver: the exact Riemann solution of the
+//! standard Sod initial data (left `(ρ, u, p) = (1, 0, 1)`, right
+//! `(0.125, 0, 0.1)`, γ = 1.4) consists of a left rarefaction, a contact
+//! discontinuity and a right-moving shock.  The star-region pressure is
+//! found by Newton iteration on the standard pressure function (Toro,
+//! "Riemann Solvers and Numerical Methods for Fluid Dynamics").
+
+use serde::{Deserialize, Serialize};
+
+/// The two constant states of a 1D Riemann problem.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RiemannStates {
+    /// Left density.
+    pub rho_l: f64,
+    /// Left velocity.
+    pub u_l: f64,
+    /// Left pressure.
+    pub p_l: f64,
+    /// Right density.
+    pub rho_r: f64,
+    /// Right velocity.
+    pub u_r: f64,
+    /// Right pressure.
+    pub p_r: f64,
+    /// Adiabatic index.
+    pub gamma: f64,
+}
+
+impl RiemannStates {
+    /// The standard Sod shock-tube data.
+    pub fn sod() -> Self {
+        RiemannStates {
+            rho_l: 1.0,
+            u_l: 0.0,
+            p_l: 1.0,
+            rho_r: 0.125,
+            u_r: 0.0,
+            p_r: 0.1,
+            gamma: 1.4,
+        }
+    }
+}
+
+/// The exact solution of a Riemann problem, sampled by similarity variable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExactRiemann {
+    states: RiemannStates,
+    /// Star-region pressure.
+    pub p_star: f64,
+    /// Star-region velocity.
+    pub u_star: f64,
+}
+
+impl ExactRiemann {
+    /// Solve the Riemann problem for the star-region state.
+    pub fn solve(states: RiemannStates) -> Self {
+        let g = states.gamma;
+        let c_l = (g * states.p_l / states.rho_l).sqrt();
+        let c_r = (g * states.p_r / states.rho_r).sqrt();
+
+        // f_K(p): velocity change across the left/right wave.
+        let f = |p: f64, p_k: f64, rho_k: f64, c_k: f64| -> f64 {
+            if p > p_k {
+                // Shock.
+                let a_k = 2.0 / ((g + 1.0) * rho_k);
+                let b_k = (g - 1.0) / (g + 1.0) * p_k;
+                (p - p_k) * (a_k / (p + b_k)).sqrt()
+            } else {
+                // Rarefaction.
+                2.0 * c_k / (g - 1.0) * ((p / p_k).powf((g - 1.0) / (2.0 * g)) - 1.0)
+            }
+        };
+        let total = |p: f64| {
+            f(p, states.p_l, states.rho_l, c_l) + f(p, states.p_r, states.rho_r, c_r)
+                + (states.u_r - states.u_l)
+        };
+        // Newton iteration with a numerical derivative, started from the
+        // arithmetic mean pressure.
+        let mut p = 0.5 * (states.p_l + states.p_r);
+        for _ in 0..60 {
+            let fp = total(p);
+            let h = 1e-7 * p.max(1e-7);
+            let dfdp = (total(p + h) - fp) / h;
+            let step = fp / dfdp;
+            p = (p - step).max(1e-10);
+            if step.abs() < 1e-12 {
+                break;
+            }
+        }
+        let u_star = 0.5 * (states.u_l + states.u_r)
+            + 0.5 * (f(p, states.p_r, states.rho_r, c_r) - f(p, states.p_l, states.rho_l, c_l));
+        ExactRiemann {
+            states,
+            p_star: p,
+            u_star,
+        }
+    }
+
+    /// Sample the exact solution at position `x` (diaphragm at `x0`) and
+    /// time `t`, returning `(rho, u, p)`.
+    pub fn sample(&self, x: f64, x0: f64, t: f64) -> (f64, f64, f64) {
+        if t <= 0.0 {
+            // Degenerate similarity variable: return the initial data.
+            return if x < x0 {
+                (self.states.rho_l, self.states.u_l, self.states.p_l)
+            } else {
+                (self.states.rho_r, self.states.u_r, self.states.p_r)
+            };
+        }
+        let s = (x - x0) / t;
+        let st = &self.states;
+        let g = st.gamma;
+        let c_l = (g * st.p_l / st.rho_l).sqrt();
+        let c_r = (g * st.p_r / st.rho_r).sqrt();
+        let p_star = self.p_star;
+        let u_star = self.u_star;
+
+        if s <= u_star {
+            // Left of the contact.
+            if p_star > st.p_l {
+                // Left shock.
+                let sl = st.u_l
+                    - c_l * ((g + 1.0) / (2.0 * g) * p_star / st.p_l + (g - 1.0) / (2.0 * g)).sqrt();
+                if s <= sl {
+                    (st.rho_l, st.u_l, st.p_l)
+                } else {
+                    let rho = st.rho_l
+                        * ((p_star / st.p_l + (g - 1.0) / (g + 1.0))
+                            / ((g - 1.0) / (g + 1.0) * p_star / st.p_l + 1.0));
+                    (rho, u_star, p_star)
+                }
+            } else {
+                // Left rarefaction.
+                let c_star = c_l * (p_star / st.p_l).powf((g - 1.0) / (2.0 * g));
+                let head = st.u_l - c_l;
+                let tail = u_star - c_star;
+                if s <= head {
+                    (st.rho_l, st.u_l, st.p_l)
+                } else if s >= tail {
+                    let rho = st.rho_l * (p_star / st.p_l).powf(1.0 / g);
+                    (rho, u_star, p_star)
+                } else {
+                    // Inside the fan.
+                    let u = 2.0 / (g + 1.0) * (c_l + (g - 1.0) / 2.0 * st.u_l + s);
+                    let c = 2.0 / (g + 1.0) * (c_l + (g - 1.0) / 2.0 * (st.u_l - s));
+                    let rho = st.rho_l * (c / c_l).powf(2.0 / (g - 1.0));
+                    let p = st.p_l * (c / c_l).powf(2.0 * g / (g - 1.0));
+                    (rho, u, p)
+                }
+            }
+        } else {
+            // Right of the contact.
+            if p_star > st.p_r {
+                // Right shock.
+                let sr = st.u_r
+                    + c_r * ((g + 1.0) / (2.0 * g) * p_star / st.p_r + (g - 1.0) / (2.0 * g)).sqrt();
+                if s >= sr {
+                    (st.rho_r, st.u_r, st.p_r)
+                } else {
+                    let rho = st.rho_r
+                        * ((p_star / st.p_r + (g - 1.0) / (g + 1.0))
+                            / ((g - 1.0) / (g + 1.0) * p_star / st.p_r + 1.0));
+                    (rho, u_star, p_star)
+                }
+            } else {
+                // Right rarefaction.
+                let c_star = c_r * (p_star / st.p_r).powf((g - 1.0) / (2.0 * g));
+                let head = st.u_r + c_r;
+                let tail = u_star + c_star;
+                if s >= head {
+                    (st.rho_r, st.u_r, st.p_r)
+                } else if s <= tail {
+                    let rho = st.rho_r * (p_star / st.p_r).powf(1.0 / g);
+                    (rho, u_star, p_star)
+                } else {
+                    let u = 2.0 / (g + 1.0) * (-c_r + (g - 1.0) / 2.0 * st.u_r + s);
+                    let c = 2.0 / (g + 1.0) * (c_r - (g - 1.0) / 2.0 * (st.u_r - s));
+                    let rho = st.rho_r * (c / c_r).powf(2.0 / (g - 1.0));
+                    let p = st.p_r * (c / c_r).powf(2.0 * g / (g - 1.0));
+                    (rho, u, p)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sod_star_state_matches_published_values() {
+        // Toro reports p* = 0.30313, u* = 0.92745 for the Sod problem.
+        let exact = ExactRiemann::solve(RiemannStates::sod());
+        assert!((exact.p_star - 0.30313).abs() < 1e-3, "p* {}", exact.p_star);
+        assert!((exact.u_star - 0.92745).abs() < 1e-3, "u* {}", exact.u_star);
+    }
+
+    #[test]
+    fn far_field_states_are_undisturbed() {
+        let exact = ExactRiemann::solve(RiemannStates::sod());
+        let (rho, u, p) = exact.sample(0.01, 0.5, 0.2);
+        assert!((rho - 1.0).abs() < 1e-12);
+        assert_eq!(u, 0.0);
+        assert!((p - 1.0).abs() < 1e-12);
+        let (rho_r, u_r, p_r) = exact.sample(0.99, 0.5, 0.2);
+        assert!((rho_r - 0.125).abs() < 1e-12);
+        assert_eq!(u_r, 0.0);
+        assert!((p_r - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contact_discontinuity_separates_densities_at_equal_pressure() {
+        let exact = ExactRiemann::solve(RiemannStates::sod());
+        let t = 0.2;
+        let x_contact = 0.5 + exact.u_star * t;
+        let left = exact.sample(x_contact - 0.01, 0.5, t);
+        let right = exact.sample(x_contact + 0.01, 0.5, t);
+        // Pressure and velocity are continuous across the contact, density
+        // is not.
+        assert!((left.2 - right.2).abs() < 1e-9);
+        assert!((left.1 - right.1).abs() < 1e-9);
+        assert!(left.0 > right.0 + 0.1);
+    }
+
+    #[test]
+    fn solution_profile_is_monotone_in_pressure_from_left_to_right() {
+        let exact = ExactRiemann::solve(RiemannStates::sod());
+        let t = 0.2;
+        let samples: Vec<f64> = (0..100)
+            .map(|i| exact.sample(i as f64 / 99.0, 0.5, t).2)
+            .collect();
+        // Pressure decreases monotonically from the left state to the right
+        // state for the Sod problem.
+        assert!(samples.windows(2).all(|w| w[1] <= w[0] + 1e-9));
+        assert!((samples[0] - 1.0).abs() < 1e-9);
+        assert!((samples[99] - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_time_returns_initial_discontinuity() {
+        let exact = ExactRiemann::solve(RiemannStates::sod());
+        let (rho_l, _, _) = exact.sample(0.4, 0.5, 0.0);
+        let (rho_r, _, _) = exact.sample(0.6, 0.5, 0.0);
+        assert!((rho_l - 1.0).abs() < 1e-12);
+        assert!((rho_r - 0.125).abs() < 1e-12);
+    }
+}

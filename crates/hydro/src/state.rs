@@ -1,0 +1,226 @@
+//! The conservative-variable state of the hydrodynamics solver.
+
+use crate::eos::IdealGas;
+use ricsa_vizdata::field::{Dims, ScalarField};
+use ricsa_vizdata::io::VolumeContainer;
+use serde::{Deserialize, Serialize};
+
+/// Conservative variables (density, momentum, total energy) on a regular
+/// grid, stored struct-of-arrays in the same x-fastest order as
+/// `ricsa_vizdata` fields.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HydroState {
+    /// Grid dimensions.
+    pub dims: Dims,
+    /// Cell width along each axis (uniform).
+    pub dx: [f64; 3],
+    /// Mass density ρ.
+    pub rho: Vec<f64>,
+    /// Momentum density (ρu, ρv, ρw).
+    pub momentum: [Vec<f64>; 3],
+    /// Total energy density E.
+    pub energy: Vec<f64>,
+    /// Equation of state.
+    pub eos: IdealGas,
+    /// Physical time of this state.
+    pub time: f64,
+    /// Cycle (time step) counter.
+    pub cycle: u64,
+}
+
+impl HydroState {
+    /// A quiescent state (`ρ = 1`, `p = 1`, `u = 0`) on the given grid.
+    pub fn uniform(dims: Dims, eos: IdealGas) -> Self {
+        let n = dims.count();
+        let rho = vec![1.0; n];
+        let momentum = [vec![0.0; n], vec![0.0; n], vec![0.0; n]];
+        let energy = vec![eos.total_energy(1.0, [0.0; 3], 1.0); n];
+        HydroState {
+            dims,
+            dx: [1.0 / dims.nx.max(1) as f64, 1.0 / dims.ny.max(1) as f64, 1.0 / dims.nz.max(1) as f64],
+            rho,
+            momentum,
+            energy,
+            eos,
+            time: 0.0,
+            cycle: 0,
+        }
+    }
+
+    /// Linear index of a cell.
+    #[inline]
+    pub fn index(&self, x: usize, y: usize, z: usize) -> usize {
+        self.dims.index(x, y, z)
+    }
+
+    /// Set the primitive variables of one cell.
+    pub fn set_primitive(&mut self, i: usize, rho: f64, velocity: [f64; 3], pressure: f64) {
+        self.rho[i] = rho;
+        for k in 0..3 {
+            self.momentum[k][i] = rho * velocity[k];
+        }
+        self.energy[i] = self.eos.total_energy(rho, velocity, pressure);
+    }
+
+    /// Primitive variables `(rho, velocity, pressure)` of one cell.
+    pub fn primitive(&self, i: usize) -> (f64, [f64; 3], f64) {
+        let rho = self.rho[i].max(1e-12);
+        let v = [
+            self.momentum[0][i] / rho,
+            self.momentum[1][i] / rho,
+            self.momentum[2][i] / rho,
+        ];
+        let mom = [self.momentum[0][i], self.momentum[1][i], self.momentum[2][i]];
+        let p = self.eos.pressure_cons(self.rho[i], mom, self.energy[i]);
+        (self.rho[i], v, p)
+    }
+
+    /// Total mass in the domain.
+    pub fn total_mass(&self) -> f64 {
+        let cell_volume = self.dx[0] * self.dx[1] * self.dx[2];
+        self.rho.iter().sum::<f64>() * cell_volume
+    }
+
+    /// Total energy in the domain.
+    pub fn total_energy(&self) -> f64 {
+        let cell_volume = self.dx[0] * self.dx[1] * self.dx[2];
+        self.energy.iter().sum::<f64>() * cell_volume
+    }
+
+    /// Largest signal speed in the domain (|u| + c over all axes), used for
+    /// the CFL condition.
+    pub fn max_signal_speed(&self) -> f64 {
+        let mut max = 0.0f64;
+        for i in 0..self.rho.len() {
+            let (rho, v, p) = self.primitive(i);
+            let c = self.eos.sound_speed(rho, p);
+            for k in 0..3 {
+                max = max.max(v[k].abs() + c);
+            }
+        }
+        max
+    }
+
+    /// Whether every cell holds finite, physically admissible values.
+    pub fn is_physical(&self) -> bool {
+        self.rho.iter().all(|r| r.is_finite() && *r > 0.0)
+            && self.energy.iter().all(|e| e.is_finite())
+            && self
+                .momentum
+                .iter()
+                .all(|m| m.iter().all(|v| v.is_finite()))
+    }
+
+    /// Extract a named primitive field as an `f32` scalar field for the
+    /// visualization pipeline.
+    pub fn field(&self, variable: HydroVariable) -> ScalarField {
+        let mut out = ScalarField::zeros(self.dims);
+        out.spacing = [self.dx[0] as f32, self.dx[1] as f32, self.dx[2] as f32];
+        for i in 0..self.rho.len() {
+            let (rho, v, p) = self.primitive(i);
+            out.data[i] = match variable {
+                HydroVariable::Density => rho as f32,
+                HydroVariable::Pressure => p as f32,
+                HydroVariable::VelocityMagnitude => {
+                    ((v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt()) as f32
+                }
+                HydroVariable::Energy => self.energy[i] as f32,
+            };
+        }
+        out
+    }
+
+    /// Package the standard variable set into a `VolumeContainer` for the
+    /// data-source node to cache (the paper's periodically cached datasets).
+    pub fn to_container(&self) -> VolumeContainer {
+        let mut c = VolumeContainer::new(self.cycle, self.time);
+        c.push("density", self.field(HydroVariable::Density));
+        c.push("pressure", self.field(HydroVariable::Pressure));
+        c.push("velocity", self.field(HydroVariable::VelocityMagnitude));
+        c
+    }
+}
+
+/// The primitive variables exposed to the visualization pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HydroVariable {
+    /// Mass density.
+    Density,
+    /// Gas pressure.
+    Pressure,
+    /// Speed (magnitude of the velocity).
+    VelocityMagnitude,
+    /// Total energy density.
+    Energy,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_state_is_quiescent_and_physical() {
+        let s = HydroState::uniform(Dims::new(8, 4, 2), IdealGas::default());
+        assert!(s.is_physical());
+        let (rho, v, p) = s.primitive(s.index(3, 2, 1));
+        assert!((rho - 1.0).abs() < 1e-12);
+        assert_eq!(v, [0.0; 3]);
+        assert!((p - 1.0).abs() < 1e-12);
+        // Quiescent signal speed equals the sound speed.
+        assert!((s.max_signal_speed() - s.eos.sound_speed(1.0, 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn primitive_round_trip() {
+        let mut s = HydroState::uniform(Dims::cube(4), IdealGas::new(1.4));
+        let i = s.index(1, 2, 3);
+        s.set_primitive(i, 2.5, [0.4, -0.1, 0.2], 3.0);
+        let (rho, v, p) = s.primitive(i);
+        assert!((rho - 2.5).abs() < 1e-12);
+        assert!((v[0] - 0.4).abs() < 1e-12);
+        assert!((v[1] + 0.1).abs() < 1e-12);
+        assert!((p - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conserved_totals_scale_with_cell_volume() {
+        let s = HydroState::uniform(Dims::cube(10), IdealGas::default());
+        // Domain is the unit cube, so total mass is the mean density = 1.
+        assert!((s.total_mass() - 1.0).abs() < 1e-12);
+        assert!(s.total_energy() > 0.0);
+    }
+
+    #[test]
+    fn field_extraction_matches_primitives() {
+        let mut s = HydroState::uniform(Dims::cube(4), IdealGas::default());
+        let i = s.index(2, 1, 0);
+        s.set_primitive(i, 4.0, [3.0, 0.0, 4.0], 2.0);
+        let rho = s.field(HydroVariable::Density);
+        let speed = s.field(HydroVariable::VelocityMagnitude);
+        let p = s.field(HydroVariable::Pressure);
+        assert!((rho.data[i] - 4.0).abs() < 1e-5);
+        assert!((speed.data[i] - 5.0).abs() < 1e-5);
+        assert!((p.data[i] - 2.0).abs() < 1e-5);
+        let energy = s.field(HydroVariable::Energy);
+        assert!(energy.data[i] > 0.0);
+    }
+
+    #[test]
+    fn container_packaging_includes_standard_variables() {
+        let s = HydroState::uniform(Dims::cube(4), IdealGas::default());
+        let c = s.to_container();
+        assert_eq!(c.variable_names(), vec!["density", "pressure", "velocity"]);
+        assert_eq!(c.cycle, 0);
+        assert!(c.nbytes() > 0);
+    }
+
+    #[test]
+    fn unphysical_states_are_detected() {
+        let mut s = HydroState::uniform(Dims::cube(2), IdealGas::default());
+        s.rho[0] = -1.0;
+        assert!(!s.is_physical());
+        let mut t = HydroState::uniform(Dims::cube(2), IdealGas::default());
+        t.energy[3] = f64::NAN;
+        assert!(!t.is_physical());
+    }
+}

@@ -1,0 +1,89 @@
+//! Steerable simulation parameters.
+//!
+//! These are the "computation control parameters" a RICSA user adjusts from
+//! the browser while the simulation runs; the framework delivers them over
+//! the stable control channel and the solver applies them between cycles
+//! (the `RICSA_UpdateSimulationParameters` hook in the paper's Fig. 7).
+
+use serde::{Deserialize, Serialize};
+
+/// Runtime-adjustable parameters of the hydrodynamics simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SteerableParams {
+    /// Adiabatic index γ of the gas.
+    pub gamma: f64,
+    /// CFL safety factor in `(0, 1]`.
+    pub cfl: f64,
+    /// Strength multiplier of the driving source (wind density for the bow
+    /// shock, driver pressure ratio for the shock tube).
+    pub drive_strength: f64,
+    /// Inflow/wind velocity magnitude.
+    pub inflow_velocity: f64,
+    /// Cycle at which the simulation should stop (the "EndCycle" of the
+    /// VH1 main loop).
+    pub end_cycle: u64,
+}
+
+impl Default for SteerableParams {
+    fn default() -> Self {
+        SteerableParams {
+            gamma: 1.4,
+            cfl: 0.4,
+            drive_strength: 1.0,
+            inflow_velocity: 2.0,
+            end_cycle: 1000,
+        }
+    }
+}
+
+impl SteerableParams {
+    /// Validate and clamp the parameters into their admissible ranges,
+    /// returning the sanitized copy.  The framework applies this before
+    /// handing user-supplied values to the solver so that a bad steering
+    /// request can never crash a running simulation.
+    pub fn sanitized(&self) -> SteerableParams {
+        SteerableParams {
+            gamma: self.gamma.clamp(1.01, 5.0 / 3.0 + 1.0),
+            cfl: self.cfl.clamp(0.05, 0.9),
+            drive_strength: self.drive_strength.clamp(0.0, 100.0),
+            inflow_velocity: self.inflow_velocity.clamp(0.0, 50.0),
+            end_cycle: self.end_cycle.max(1),
+        }
+    }
+
+    /// Whether the parameters are already within their admissible ranges.
+    pub fn is_valid(&self) -> bool {
+        *self == self.sanitized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        let p = SteerableParams::default();
+        assert!(p.is_valid());
+        assert_eq!(p.sanitized(), p);
+    }
+
+    #[test]
+    fn sanitization_clamps_out_of_range_values() {
+        let wild = SteerableParams {
+            gamma: 0.5,
+            cfl: 3.0,
+            drive_strength: -4.0,
+            inflow_velocity: 1e9,
+            end_cycle: 0,
+        };
+        assert!(!wild.is_valid());
+        let s = wild.sanitized();
+        assert!(s.gamma > 1.0);
+        assert!(s.cfl <= 0.9);
+        assert_eq!(s.drive_strength, 0.0);
+        assert_eq!(s.inflow_velocity, 50.0);
+        assert_eq!(s.end_cycle, 1);
+        assert!(s.is_valid());
+    }
+}

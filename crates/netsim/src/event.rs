@@ -1,0 +1,166 @@
+//! The discrete-event queue.
+//!
+//! Events are ordered by virtual time with a monotone sequence number as a
+//! tie breaker, which makes event ordering (and therefore every simulation
+//! run) fully deterministic.
+
+use crate::link::LinkId;
+use crate::node::NodeId;
+use crate::packet::Datagram;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone)]
+pub enum EventKind {
+    /// A datagram arrives at a node (either its destination or a forwarding
+    /// hop).
+    DatagramArrival {
+        /// The node where the datagram arrives.
+        node: NodeId,
+        /// The datagram itself.
+        datagram: Datagram,
+        /// The link it arrived on (None for loopback deliveries).
+        via: Option<LinkId>,
+    },
+    /// A timer set by an application fires.
+    Timer {
+        /// The node whose application owns the timer.
+        node: NodeId,
+        /// The identifier returned by `Context::set_timer`.
+        timer_id: u64,
+    },
+    /// The application on a node should be started.
+    Start {
+        /// The node to start.
+        node: NodeId,
+    },
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Monotone sequence number used to break ties deterministically.
+    pub seq: u64,
+    /// The event payload.
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest event pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic min-priority event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedule an event at `at`.
+    pub fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, kind });
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3.0), EventKind::Start { node: NodeId(3) });
+        q.push(SimTime::from_secs(1.0), EventKind::Start { node: NodeId(1) });
+        q.push(SimTime::from_secs(2.0), EventKind::Start { node: NodeId(2) });
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.at.as_secs())
+            .collect();
+        assert_eq!(order, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.push(
+                SimTime::from_secs(1.0),
+                EventKind::Timer {
+                    node: NodeId(0),
+                    timer_id: i,
+                },
+            );
+        }
+        let ids: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { timer_id, .. } => timer_id,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert!(q.peek_time().is_none());
+        q.push(SimTime::from_secs(2.0), EventKind::Start { node: NodeId(0) });
+        q.push(SimTime::from_secs(1.0), EventKind::Start { node: NodeId(0) });
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time().unwrap(), SimTime::from_secs(1.0));
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,291 @@
+//! Topology presets, including the paper's Fig. 8 deployment.
+//!
+//! The paper deploys RICSA on six Internet hosts: a client/front-end host at
+//! ORNL, the central-management node at LSU, data-source hosts at OSU and
+//! GaTech, and cluster-based computing-service nodes at UT and NCState.  The
+//! actual link bandwidths and delays are not tabulated in the paper, so the
+//! preset uses representative 2008-era Internet2/ESnet figures chosen such
+//! that the qualitative structure matches the published result:
+//!
+//! * GaTech→UT and UT→ORNL are the best-provisioned path (this is the loop
+//!   the paper's optimizer picks),
+//! * OSU's uplinks are slower than GaTech's,
+//! * NCState's cluster is somewhat slower than UT's and sits behind a
+//!   lower-bandwidth link,
+//! * the direct DS→ORNL paths used by the PC–PC loops are the slowest,
+//!   because the client host is an ordinary desktop on a shared campus link.
+//!
+//! The preset is parameterized by [`Fig8Params`] so that experiments can
+//! perturb bandwidths/loss and study how the optimal mapping shifts.
+
+use crate::crosstraffic::CrossTraffic;
+use crate::link::LinkSpec;
+use crate::loss::LossModel;
+use crate::node::{NodeId, NodeSpec};
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// The six sites of the paper's experimental deployment (Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Fig8Site {
+    /// Oak Ridge National Laboratory: Ajax client + front end.
+    Ornl,
+    /// Louisiana State University: central management node.
+    Lsu,
+    /// Ohio State University: data source (PC host).
+    Osu,
+    /// Georgia Tech: data source (PC host).
+    GaTech,
+    /// University of Tennessee: cluster computing service.
+    UtCluster,
+    /// North Carolina State University: cluster computing service.
+    NcStateCluster,
+}
+
+impl Fig8Site {
+    /// All six sites in a fixed order.
+    pub const ALL: [Fig8Site; 6] = [
+        Fig8Site::Ornl,
+        Fig8Site::Lsu,
+        Fig8Site::Osu,
+        Fig8Site::GaTech,
+        Fig8Site::UtCluster,
+        Fig8Site::NcStateCluster,
+    ];
+
+    /// Canonical display name used in node specs and experiment reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fig8Site::Ornl => "ORNL",
+            Fig8Site::Lsu => "LSU",
+            Fig8Site::Osu => "OSU",
+            Fig8Site::GaTech => "GaTech",
+            Fig8Site::UtCluster => "UT",
+            Fig8Site::NcStateCluster => "NCState",
+        }
+    }
+}
+
+/// Tunable parameters of the Fig. 8 preset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig8Params {
+    /// Bandwidth (Mbit/s) of the well-provisioned research-network links
+    /// (GaTech↔UT, UT↔ORNL).
+    pub fast_link_mbps: f64,
+    /// Bandwidth (Mbit/s) of mid-tier links (GaTech↔NCState, OSU↔clusters,
+    /// cluster↔ORNL for NCState).
+    pub mid_link_mbps: f64,
+    /// Bandwidth (Mbit/s) of the slow campus links (DS→ORNL direct paths and
+    /// the LSU control links).
+    pub slow_link_mbps: f64,
+    /// One-way propagation delay between nearby sites, seconds.
+    pub near_delay: f64,
+    /// One-way propagation delay between distant sites, seconds.
+    pub far_delay: f64,
+    /// Random loss probability applied to every wide-area link.
+    pub loss: f64,
+    /// Mean background load on wide-area links (0 disables cross traffic).
+    pub cross_traffic_load: f64,
+    /// Normalized compute power of a PC-class host.
+    pub pc_power: f64,
+    /// Normalized compute power of the UT cluster.
+    pub ut_power: f64,
+    /// Normalized compute power of the NCState cluster.
+    pub ncstate_power: f64,
+}
+
+impl Default for Fig8Params {
+    fn default() -> Self {
+        Fig8Params {
+            fast_link_mbps: 400.0,
+            mid_link_mbps: 120.0,
+            slow_link_mbps: 45.0,
+            near_delay: 0.008,
+            far_delay: 0.022,
+            loss: 0.0005,
+            cross_traffic_load: 0.15,
+            pc_power: 1.0,
+            ut_power: 7.0,
+            ncstate_power: 4.0,
+        }
+    }
+}
+
+/// The Fig. 8 topology together with the site → node-id mapping.
+#[derive(Debug, Clone)]
+pub struct Fig8Topology {
+    /// The constructed overlay topology.
+    pub topology: Topology,
+    sites: [(Fig8Site, NodeId); 6],
+}
+
+impl Fig8Topology {
+    /// Node id of a site.
+    pub fn node(&self, site: Fig8Site) -> NodeId {
+        self.sites
+            .iter()
+            .find(|(s, _)| *s == site)
+            .map(|(_, id)| *id)
+            .expect("all sites are present by construction")
+    }
+
+    /// All `(site, node)` pairs.
+    pub fn sites(&self) -> &[(Fig8Site, NodeId); 6] {
+        &self.sites
+    }
+}
+
+/// Build the Fig. 8 deployment with default parameters.
+pub fn fig8_topology() -> Fig8Topology {
+    fig8_topology_with(Fig8Params::default())
+}
+
+/// Build the Fig. 8 deployment with explicit parameters.
+pub fn fig8_topology_with(p: Fig8Params) -> Fig8Topology {
+    let mut t = Topology::new();
+    let ornl = t.add_node(NodeSpec::workstation(Fig8Site::Ornl.name(), p.pc_power));
+    let lsu = t.add_node(NodeSpec::workstation(Fig8Site::Lsu.name(), p.pc_power));
+    // The paper performs isosurface extraction on the OSU/GaTech hosts in the
+    // PC-PC experiments because "neither the GaTech host nor the OSU host is
+    // equipped with a graphics card".
+    let osu = t.add_node(NodeSpec::headless(Fig8Site::Osu.name(), p.pc_power));
+    let gatech = t.add_node(NodeSpec::headless(Fig8Site::GaTech.name(), p.pc_power));
+    let ut = t.add_node(NodeSpec::cluster(Fig8Site::UtCluster.name(), p.ut_power, 8));
+    let ncstate = t.add_node(NodeSpec::cluster(
+        Fig8Site::NcStateCluster.name(),
+        p.ncstate_power,
+        8,
+    ));
+
+    let wan = |mbps: f64, delay: f64| -> LinkSpec {
+        LinkSpec::from_mbps(mbps, delay)
+            .with_loss(LossModel::Bernoulli { p: p.loss })
+            .with_cross_traffic(if p.cross_traffic_load > 0.0 {
+                CrossTraffic::OnOff {
+                    low_load: (p.cross_traffic_load * 0.5).min(0.9),
+                    high_load: (p.cross_traffic_load * 1.5).min(0.9),
+                    mean_low_duration: 2.0,
+                    mean_high_duration: 1.0,
+                }
+            } else {
+                CrossTraffic::None
+            })
+            .with_jitter(0.0015)
+            .with_queue_delay(2.0)
+    };
+
+    // Control path: ORNL -> LSU -> data sources (Fig. 8 dashed lines).
+    t.connect(ornl, lsu, wan(p.slow_link_mbps, p.far_delay));
+    t.connect(lsu, gatech, wan(p.slow_link_mbps, p.far_delay));
+    t.connect(lsu, osu, wan(p.slow_link_mbps, p.far_delay));
+
+    // Data paths from the data sources to the computing services.
+    t.connect(gatech, ut, wan(p.fast_link_mbps, p.near_delay));
+    t.connect(gatech, ncstate, wan(p.mid_link_mbps, p.near_delay));
+    t.connect(osu, ut, wan(p.mid_link_mbps, p.far_delay));
+    t.connect(osu, ncstate, wan(p.mid_link_mbps, p.near_delay));
+
+    // Computing services back to the client at ORNL.
+    t.connect(ut, ornl, wan(p.fast_link_mbps, p.near_delay));
+    t.connect(ncstate, ornl, wan(p.mid_link_mbps, p.far_delay));
+
+    // Direct DS -> client links used by the PC-PC (client/server) loops.
+    t.connect(gatech, ornl, wan(p.slow_link_mbps, p.near_delay));
+    t.connect(osu, ornl, wan(p.slow_link_mbps, p.far_delay));
+
+    let sites = [
+        (Fig8Site::Ornl, ornl),
+        (Fig8Site::Lsu, lsu),
+        (Fig8Site::Osu, osu),
+        (Fig8Site::GaTech, gatech),
+        (Fig8Site::UtCluster, ut),
+        (Fig8Site::NcStateCluster, ncstate),
+    ];
+    Fig8Topology { topology: t, sites }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::RoutingTable;
+
+    #[test]
+    fn preset_builds_a_valid_topology() {
+        let f = fig8_topology();
+        assert_eq!(f.topology.node_count(), 6);
+        assert!(f.topology.validate().is_ok());
+        // 11 bidirectional connections -> 22 directed edges.
+        assert_eq!(f.topology.edge_count(), 22);
+    }
+
+    #[test]
+    fn site_lookup_and_names() {
+        let f = fig8_topology();
+        for site in Fig8Site::ALL {
+            let id = f.node(site);
+            assert_eq!(f.topology.node(id).unwrap().name, site.name());
+        }
+        assert_eq!(f.sites().len(), 6);
+    }
+
+    #[test]
+    fn clusters_are_clusters_and_ds_hosts_are_headless() {
+        let f = fig8_topology();
+        let ut = f.topology.node(f.node(Fig8Site::UtCluster)).unwrap();
+        assert!(ut.capabilities.is_cluster);
+        assert!(ut.compute_power > 1.0);
+        let gatech = f.topology.node(f.node(Fig8Site::GaTech)).unwrap();
+        assert!(!gatech.capabilities.has_graphics);
+        let ornl = f.topology.node(f.node(Fig8Site::Ornl)).unwrap();
+        assert!(ornl.capabilities.has_graphics);
+    }
+
+    #[test]
+    fn all_sites_are_mutually_reachable() {
+        let f = fig8_topology();
+        let rt = RoutingTable::build(&f.topology);
+        for a in Fig8Site::ALL {
+            for b in Fig8Site::ALL {
+                assert!(
+                    rt.reachable(f.node(a), f.node(b)),
+                    "{} cannot reach {}",
+                    a.name(),
+                    b.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_data_path_is_better_provisioned_than_pc_pc_path() {
+        // The GaTech->UT->ORNL path must offer more bandwidth than the direct
+        // GaTech->ORNL link, otherwise the preset cannot reproduce Fig. 9.
+        let f = fig8_topology();
+        let t = &f.topology;
+        let gatech = f.node(Fig8Site::GaTech);
+        let ut = f.node(Fig8Site::UtCluster);
+        let ornl = f.node(Fig8Site::Ornl);
+        let fast1 = t.edge_between(gatech, ut).unwrap().spec.bandwidth_bps;
+        let fast2 = t.edge_between(ut, ornl).unwrap().spec.bandwidth_bps;
+        let slow = t.edge_between(gatech, ornl).unwrap().spec.bandwidth_bps;
+        assert!(fast1 > 2.0 * slow);
+        assert!(fast2 > 2.0 * slow);
+    }
+
+    #[test]
+    fn parameter_overrides_are_respected() {
+        let params = Fig8Params {
+            loss: 0.0,
+            cross_traffic_load: 0.0,
+            ut_power: 16.0,
+            ..Fig8Params::default()
+        };
+        let f = fig8_topology_with(params);
+        let ut = f.topology.node(f.node(Fig8Site::UtCluster)).unwrap();
+        assert_eq!(ut.compute_power, 16.0);
+        for e in f.topology.edges() {
+            assert_eq!(e.spec.loss, LossModel::Bernoulli { p: 0.0 });
+            assert_eq!(e.spec.cross_traffic, CrossTraffic::None);
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Trace records emitted by applications and collected by the engine.
+//!
+//! The experiment harness (Fig. 9 / Fig. 10 reproduction) reads these records
+//! to compute end-to-end delays, goodput time series, and convergence
+//! metrics without having to thread bespoke channels through every
+//! application.
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A single trace record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Virtual time at which the record was emitted (filled in by the engine).
+    pub at: SimTime,
+    /// Node that emitted the record (filled in by the engine).
+    pub node: NodeId,
+    /// Structured payload.
+    pub kind: TraceKind,
+}
+
+/// The payload of a trace record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A transport flow reported an instantaneous goodput sample (bytes/s).
+    Goodput {
+        /// Flow identifier.
+        flow: u64,
+        /// Goodput sample in bytes per second.
+        bytes_per_sec: f64,
+    },
+    /// A complete application-level message finished arriving.
+    MessageDelivered {
+        /// Flow identifier.
+        flow: u64,
+        /// Message size in bytes.
+        bytes: usize,
+        /// End-to-end latency of the message, seconds.
+        latency: f64,
+    },
+    /// A visualization stage finished on this node.
+    StageCompleted {
+        /// Human-readable stage name (e.g. "isosurface").
+        stage: String,
+        /// Processing time, seconds.
+        elapsed: f64,
+        /// Output size in bytes handed to the next stage.
+        output_bytes: usize,
+    },
+    /// An end-to-end steering iteration completed (image delivered to the
+    /// client).
+    IterationCompleted {
+        /// Iteration (simulation cycle) number.
+        iteration: u64,
+        /// Total end-to-end delay for this iteration, seconds.
+        end_to_end_delay: f64,
+    },
+    /// Free-form annotation.
+    Note {
+        /// Arbitrary label.
+        label: String,
+        /// Arbitrary value.
+        value: f64,
+    },
+}
+
+impl TraceEvent {
+    /// Create a record with placeholder time/node; the engine overwrites both
+    /// when the record is collected.
+    pub fn new(kind: TraceKind) -> Self {
+        TraceEvent {
+            at: SimTime::ZERO,
+            node: NodeId(0),
+            kind,
+        }
+    }
+}
+
+/// A collected trace with query helpers.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// All records in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Append a record.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All goodput samples for a flow, as `(time_secs, bytes_per_sec)`.
+    pub fn goodput_series(&self, flow_id: u64) -> Vec<(f64, f64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                TraceKind::Goodput { flow, bytes_per_sec } if *flow == flow_id => {
+                    Some((e.at.as_secs(), *bytes_per_sec))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All completed-iteration delays in order.
+    pub fn iteration_delays(&self) -> Vec<f64> {
+        self.events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                TraceKind::IterationCompleted { end_to_end_delay, .. } => Some(*end_to_end_delay),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All message deliveries for a flow, as `(bytes, latency_secs)`.
+    pub fn message_deliveries(&self, flow_id: u64) -> Vec<(usize, f64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                TraceKind::MessageDelivered { flow, bytes, latency } if *flow == flow_id => {
+                    Some((*bytes, *latency))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_queries_filter_by_kind_and_flow() {
+        let mut t = Trace::default();
+        assert!(t.is_empty());
+        t.push(TraceEvent {
+            at: SimTime::from_secs(1.0),
+            node: NodeId(0),
+            kind: TraceKind::Goodput {
+                flow: 7,
+                bytes_per_sec: 1000.0,
+            },
+        });
+        t.push(TraceEvent {
+            at: SimTime::from_secs(2.0),
+            node: NodeId(0),
+            kind: TraceKind::Goodput {
+                flow: 8,
+                bytes_per_sec: 2000.0,
+            },
+        });
+        t.push(TraceEvent {
+            at: SimTime::from_secs(3.0),
+            node: NodeId(1),
+            kind: TraceKind::IterationCompleted {
+                iteration: 0,
+                end_to_end_delay: 4.5,
+            },
+        });
+        t.push(TraceEvent {
+            at: SimTime::from_secs(3.5),
+            node: NodeId(1),
+            kind: TraceKind::MessageDelivered {
+                flow: 7,
+                bytes: 4096,
+                latency: 0.25,
+            },
+        });
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.goodput_series(7), vec![(1.0, 1000.0)]);
+        assert_eq!(t.goodput_series(9), vec![]);
+        assert_eq!(t.iteration_delays(), vec![4.5]);
+        assert_eq!(t.message_deliveries(7), vec![(4096, 0.25)]);
+    }
+
+    #[test]
+    fn new_event_has_placeholder_origin() {
+        let e = TraceEvent::new(TraceKind::Note {
+            label: "x".into(),
+            value: 1.0,
+        });
+        assert_eq!(e.at, SimTime::ZERO);
+        assert_eq!(e.node, NodeId(0));
+    }
+}

@@ -1,0 +1,285 @@
+//! Fixed-mapping baselines and a greedy heuristic.
+//!
+//! The paper compares its optimizer against (i) conventional client/server
+//! ("PC–PC") deployments where a predetermined split of the pipeline is used
+//! over the direct data-source → client link, and (ii) ParaView's manual
+//! client / render-server / data-server (`-crs`) deployment (Fig. 10).  A
+//! greedy one-step-lookahead heuristic is included as an additional ablation
+//! for the benchmark harness.
+
+use crate::delay::{evaluate_mapping, validate_mapping, DelayBreakdown, Mapping};
+use crate::network::NetGraph;
+use crate::pipeline::Pipeline;
+
+/// The best fixed client/server mapping over the direct `source → client`
+/// link: every split point of the pipeline between the two hosts is
+/// evaluated (respecting graphics feasibility) and the cheapest is returned.
+/// Returns `None` when the two hosts are not directly connected or no split
+/// is feasible.
+pub fn client_server_mapping(
+    pipeline: &Pipeline,
+    graph: &NetGraph,
+    source: usize,
+    client: usize,
+) -> Option<(Mapping, DelayBreakdown)> {
+    graph.link_between(source, client)?;
+    best_split_on_path(pipeline, graph, &[source, client])
+}
+
+/// The best contiguous split of the pipeline across an explicit path of
+/// nodes; `None` if the path is disconnected or no split is feasible.
+pub fn best_split_on_path(
+    pipeline: &Pipeline,
+    graph: &NetGraph,
+    path: &[usize],
+) -> Option<(Mapping, DelayBreakdown)> {
+    let n = pipeline.message_count();
+    let q = path.len();
+    if q == 0 {
+        return None;
+    }
+    let mut best: Option<(Mapping, DelayBreakdown)> = None;
+    // Enumerate all ways to choose q-1 split points in 0..=n (allowing empty
+    // groups, e.g. a source that only serves data or a client that only
+    // displays the image).
+    let mut splits = vec![0usize; q - 1];
+    loop {
+        // Build groups from the split points (must be non-decreasing).
+        if splits.windows(2).all(|w| w[0] <= w[1]) {
+            let mut groups: Vec<Vec<usize>> = Vec::with_capacity(q);
+            let mut start = 0usize;
+            for g in 0..q {
+                let end = if g + 1 < q { splits[g] } else { n };
+                groups.push((start..end).collect());
+                start = end;
+            }
+            let mapping = Mapping {
+                path: path.to_vec(),
+                groups,
+            };
+            if validate_mapping(pipeline, graph, &mapping).is_ok() {
+                let delay = evaluate_mapping(pipeline, graph, &mapping);
+                if best
+                    .as_ref()
+                    .map(|(_, d)| delay.total < d.total)
+                    .unwrap_or(true)
+                {
+                    best = Some((mapping, delay));
+                }
+            }
+        }
+        // Advance the split-point odometer.
+        let mut i = 0;
+        loop {
+            if i == splits.len() {
+                return best;
+            }
+            splits[i] += 1;
+            if splits[i] <= n {
+                break;
+            }
+            splits[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// The ParaView `-crs` deployment of Fig. 10: the first module (filtering /
+/// data serving) on the data server, all remaining modules on the render
+/// server, and the finished image delivered to the client.  `overhead`
+/// multiplies both computing and transport time to model the heavier
+/// general-purpose protocol stack; the paper's measurements showed ParaView
+/// moderately slower than RICSA on the identical mapping.
+pub fn paraview_crs_mapping(
+    pipeline: &Pipeline,
+    graph: &NetGraph,
+    data_server: usize,
+    render_server: usize,
+    client: usize,
+    overhead: f64,
+) -> Option<(Mapping, DelayBreakdown)> {
+    let n = pipeline.message_count();
+    if n < 2 {
+        return None;
+    }
+    let mapping = Mapping {
+        path: vec![data_server, render_server, client],
+        groups: vec![vec![0], (1..n).collect(), Vec::new()],
+    };
+    validate_mapping(pipeline, graph, &mapping).ok()?;
+    let base = evaluate_mapping(pipeline, graph, &mapping);
+    let overhead = overhead.max(1.0);
+    Some((
+        mapping,
+        DelayBreakdown {
+            total: base.total * overhead,
+            computing: base.computing * overhead,
+            transport: base.transport * overhead,
+        },
+    ))
+}
+
+/// A greedy one-step-lookahead heuristic: each module is placed on whichever
+/// of the current node or its out-neighbours minimizes that module's
+/// processing time plus the transfer it incurs, with the final module forced
+/// onto the client.  Returns `None` if the walk cannot reach the client.
+pub fn greedy_mapping(
+    pipeline: &Pipeline,
+    graph: &NetGraph,
+    source: usize,
+    client: usize,
+) -> Option<(Mapping, DelayBreakdown)> {
+    let n = pipeline.message_count();
+    let mut hosts = Vec::with_capacity(n);
+    let mut at = source;
+    for module in 0..n {
+        let message = pipeline.input_bytes(module);
+        let feasible = |node: usize| {
+            !pipeline.modules[module].needs_graphics || graph.node(node).has_graphics
+        };
+        if module == n - 1 {
+            // Final module must land on the client.
+            if at != client && graph.link_between(at, client).is_none() {
+                return None;
+            }
+            if !feasible(client) {
+                return None;
+            }
+            hosts.push(client);
+            at = client;
+            continue;
+        }
+        let mut best_node = None;
+        let mut best_cost = f64::INFINITY;
+        let mut consider = |node: usize, transfer: f64| {
+            if !feasible(node) {
+                return;
+            }
+            let cost = transfer + pipeline.processing_time(module, graph.node(node).power);
+            if cost < best_cost {
+                best_cost = cost;
+                best_node = Some(node);
+            }
+        };
+        consider(at, 0.0);
+        for &lid in graph.outgoing_links(at) {
+            let link = graph.link(lid);
+            consider(link.to, message / link.bandwidth.max(1e-9) + link.delay);
+        }
+        let chosen = best_node?;
+        hosts.push(chosen);
+        at = chosen;
+    }
+    // Convert hosts into a mapping.
+    let mut path = Vec::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    if hosts.first() != Some(&source) {
+        path.push(source);
+        groups.push(Vec::new());
+    }
+    for (module, &host) in hosts.iter().enumerate() {
+        if path.last() != Some(&host) {
+            path.push(host);
+            groups.push(Vec::new());
+        }
+        groups.last_mut().expect("non-empty").push(module);
+    }
+    let mapping = Mapping { path, groups };
+    validate_mapping(pipeline, graph, &mapping).ok()?;
+    let delay = evaluate_mapping(pipeline, graph, &mapping);
+    Some((mapping, delay))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::optimize;
+    use crate::pipeline::ModuleSpec;
+
+    fn setup() -> (Pipeline, NetGraph) {
+        let pipeline = Pipeline::new(
+            "test",
+            1_000_000.0,
+            vec![
+                ModuleSpec::new("filter", 1e-8, 1_000_000.0),
+                ModuleSpec::new("extract", 1e-7, 200_000.0),
+                ModuleSpec::new("render", 5e-8, 50_000.0).requiring_graphics(),
+            ],
+        );
+        let mut g = NetGraph::new();
+        let src = g.add_node("src", 1.0, false);
+        let mid = g.add_node("mid", 8.0, true);
+        let dst = g.add_node("dst", 1.0, true);
+        g.add_bidirectional(src, mid, 1e6, 0.01);
+        g.add_bidirectional(mid, dst, 2e6, 0.01);
+        g.add_bidirectional(src, dst, 0.25e6, 0.03);
+        (pipeline, g)
+    }
+
+    #[test]
+    fn client_server_picks_the_best_feasible_split() {
+        let (p, g) = setup();
+        let (mapping, delay) = client_server_mapping(&p, &g, 0, 2).unwrap();
+        assert_eq!(mapping.path, vec![0, 2]);
+        // The source is headless, so the render module must sit on the
+        // client; extraction may sit on either side, whichever is cheaper.
+        assert!(mapping.groups[1].contains(&2));
+        assert!(delay.total > 0.0);
+        // No direct link -> no client/server mapping.
+        let mut island = NetGraph::new();
+        island.add_node("a", 1.0, true);
+        island.add_node("b", 1.0, true);
+        assert!(client_server_mapping(&p, &island, 0, 1).is_none());
+    }
+
+    #[test]
+    fn dp_never_loses_to_the_baselines() {
+        let (p, g) = setup();
+        let dp = optimize(&p, &g, 0, 2).unwrap();
+        if let Some((_, cs)) = client_server_mapping(&p, &g, 0, 2) {
+            assert!(dp.delay.total <= cs.total + 1e-9);
+        }
+        if let Some((_, greedy)) = greedy_mapping(&p, &g, 0, 2) {
+            assert!(dp.delay.total <= greedy.total + 1e-9);
+        }
+        if let Some((_, pv)) = paraview_crs_mapping(&p, &g, 0, 1, 2, 1.0) {
+            assert!(dp.delay.total <= pv.total + 1e-9);
+        }
+    }
+
+    #[test]
+    fn paraview_overhead_scales_the_delay() {
+        let (p, g) = setup();
+        let (_, base) = paraview_crs_mapping(&p, &g, 0, 1, 2, 1.0).unwrap();
+        let (_, heavy) = paraview_crs_mapping(&p, &g, 0, 1, 2, 1.4).unwrap();
+        assert!((heavy.total / base.total - 1.4).abs() < 1e-9);
+        // Overhead below 1 is clamped to 1 (ParaView is never modelled as
+        // faster than the bare pipeline).
+        let (_, clamped) = paraview_crs_mapping(&p, &g, 0, 1, 2, 0.5).unwrap();
+        assert!((clamped.total - base.total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_reaches_the_client_and_is_feasible() {
+        let (p, g) = setup();
+        let (mapping, delay) = greedy_mapping(&p, &g, 0, 2).unwrap();
+        assert_eq!(*mapping.path.last().unwrap(), 2);
+        assert!(delay.total.is_finite());
+    }
+
+    #[test]
+    fn best_split_on_longer_paths_uses_the_cluster() {
+        let (p, g) = setup();
+        let via_mid = best_split_on_path(&p, &g, &[0, 1, 2]).unwrap();
+        let direct = best_split_on_path(&p, &g, &[0, 2]).unwrap();
+        assert!(via_mid.1.total < direct.1.total);
+        assert!(best_split_on_path(&p, &g, &[]).is_none());
+    }
+
+    #[test]
+    fn paraview_requires_at_least_two_modules() {
+        let single = Pipeline::new("one", 1e6, vec![ModuleSpec::new("only", 1e-9, 1e5)]);
+        let (_, g) = setup();
+        assert!(paraview_crs_mapping(&single, &g, 0, 1, 2, 1.0).is_none());
+    }
+}

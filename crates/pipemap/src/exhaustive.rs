@@ -1,0 +1,218 @@
+//! Exhaustive search over pipeline placements.
+//!
+//! Enumerates every assignment of modules to nodes in which the first module
+//! sits on the data source or one of its neighbours, each subsequent module
+//! stays on the same node or moves across one link, and the last module sits
+//! on the client — exactly the placements the DP recursion of Eqs. 9–10
+//! explores.  Exponential in the module count, so it is only used to verify
+//! the optimizer on small instances (tests, property checks, and the
+//! optimality ablation in the benchmark harness).
+
+use crate::delay::{evaluate_mapping, Mapping};
+use crate::dp::OptimizedMapping;
+use crate::network::NetGraph;
+use crate::pipeline::Pipeline;
+
+/// Exhaustively find the optimal placement, or `None` if no feasible
+/// placement exists.  Instances with more than `max_modules` modules are
+/// rejected (returning `None`) to avoid accidental exponential blow-ups;
+/// pass `usize::MAX` to force the search.
+pub fn exhaustive_optimal(
+    pipeline: &Pipeline,
+    graph: &NetGraph,
+    source: usize,
+    destination: usize,
+    max_modules: usize,
+) -> Option<OptimizedMapping> {
+    let n = pipeline.message_count();
+    if n == 0 || n > max_modules || source >= graph.node_count() || destination >= graph.node_count()
+    {
+        return None;
+    }
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    let mut hosts = vec![0usize; n];
+    search(
+        pipeline,
+        graph,
+        source,
+        destination,
+        0,
+        source,
+        &mut hosts,
+        &mut best,
+    );
+    let (_, hosts) = best?;
+    let mapping = hosts_to_mapping(source, &hosts);
+    let delay = evaluate_mapping(pipeline, graph, &mapping);
+    Some(OptimizedMapping {
+        objective: delay.total,
+        mapping,
+        delay,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    pipeline: &Pipeline,
+    graph: &NetGraph,
+    source: usize,
+    destination: usize,
+    module: usize,
+    at: usize,
+    hosts: &mut Vec<usize>,
+    best: &mut Option<(f64, Vec<usize>)>,
+) {
+    let n = pipeline.message_count();
+    if module == n {
+        if hosts[n - 1] != destination {
+            return;
+        }
+        let mapping = hosts_to_mapping(source, hosts);
+        if crate::delay::validate_mapping(pipeline, graph, &mapping).is_err() {
+            return;
+        }
+        let delay = evaluate_mapping(pipeline, graph, &mapping).total;
+        if best.as_ref().map(|(d, _)| delay < *d).unwrap_or(true) {
+            *best = Some((delay, hosts.clone()));
+        }
+        return;
+    }
+    // Candidate nodes for this module: stay on `at` or move to an
+    // out-neighbour of `at`.
+    let mut candidates = vec![at];
+    for &lid in graph.outgoing_links(at) {
+        candidates.push(graph.link(lid).to);
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+    for cand in candidates {
+        if pipeline.modules[module].needs_graphics && !graph.node(cand).has_graphics {
+            continue;
+        }
+        hosts[module] = cand;
+        search(pipeline, graph, source, destination, module + 1, cand, hosts, best);
+    }
+}
+
+/// Convert a per-module host assignment into a path + groups mapping.
+fn hosts_to_mapping(source: usize, hosts: &[usize]) -> Mapping {
+    let mut path = Vec::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    if hosts.first() != Some(&source) {
+        path.push(source);
+        groups.push(Vec::new());
+    }
+    for (module, &host) in hosts.iter().enumerate() {
+        if path.last() != Some(&host) {
+            path.push(host);
+            groups.push(Vec::new());
+        }
+        groups.last_mut().expect("non-empty").push(module);
+    }
+    Mapping { path, groups }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::optimize;
+    use crate::pipeline::ModuleSpec;
+    use proptest::prelude::*;
+
+    fn small_instance() -> (Pipeline, NetGraph) {
+        let pipeline = Pipeline::new(
+            "test",
+            1_000_000.0,
+            vec![
+                ModuleSpec::new("filter", 1e-8, 1_000_000.0),
+                ModuleSpec::new("extract", 1e-7, 200_000.0),
+                ModuleSpec::new("render", 5e-8, 50_000.0).requiring_graphics(),
+            ],
+        );
+        let mut g = NetGraph::new();
+        let src = g.add_node("src", 1.0, false);
+        let mid = g.add_node("mid", 8.0, true);
+        let dst = g.add_node("dst", 1.0, true);
+        g.add_bidirectional(src, mid, 1e6, 0.01);
+        g.add_bidirectional(mid, dst, 2e6, 0.01);
+        g.add_bidirectional(src, dst, 0.25e6, 0.03);
+        (pipeline, g)
+    }
+
+    #[test]
+    fn exhaustive_matches_dp_on_the_reference_instance() {
+        let (p, g) = small_instance();
+        let dp = optimize(&p, &g, 0, 2).unwrap();
+        let ex = exhaustive_optimal(&p, &g, 0, 2, 8).unwrap();
+        assert!((dp.delay.total - ex.delay.total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn module_budget_guard_rejects_large_instances() {
+        let (p, g) = small_instance();
+        assert!(exhaustive_optimal(&p, &g, 0, 2, 2).is_none());
+        assert!(exhaustive_optimal(&p, &g, 0, 9, 8).is_none());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        /// On random small instances the DP optimum equals the exhaustive
+        /// optimum — the central correctness property of the optimizer.
+        #[test]
+        fn dp_equals_exhaustive_on_random_instances(
+            seed in 0u64..1000,
+            n_nodes in 3usize..6,
+            n_modules in 2usize..5,
+            density in 0.3f64..1.0,
+        ) {
+            // Deterministic pseudo-random instance from the seed.
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            };
+            let mut g = NetGraph::new();
+            for i in 0..n_nodes {
+                let power = 0.5 + 4.0 * next();
+                // Keep at least the last node graphics-capable so the
+                // instance is feasible when a render stage is present.
+                let has_gfx = i == n_nodes - 1 || next() > 0.3;
+                g.add_node(format!("n{i}"), power, has_gfx);
+            }
+            for a in 0..n_nodes {
+                for b in (a + 1)..n_nodes {
+                    // Always keep a chain so the graph is connected.
+                    if b == a + 1 || next() < density {
+                        let bw = 0.2e6 + 10e6 * next();
+                        let delay = 0.001 + 0.05 * next();
+                        g.add_bidirectional(a, b, bw, delay);
+                    }
+                }
+            }
+            let mut modules = Vec::new();
+            for k in 0..n_modules {
+                let complexity = 1e-9 + 2e-7 * next();
+                let out = 1e4 + 2e6 * next();
+                let spec = ModuleSpec::new(format!("m{k}"), complexity, out);
+                let spec = if k == n_modules - 1 { spec.requiring_graphics() } else { spec };
+                modules.push(spec);
+            }
+            let pipeline = Pipeline::new("random", 0.5e6 + 4e6 * next(), modules);
+            let src = 0;
+            let dst = n_nodes - 1;
+            let dp = optimize(&pipeline, &g, src, dst);
+            let ex = exhaustive_optimal(&pipeline, &g, src, dst, 8);
+            match (dp, ex) {
+                (Some(dp), Some(ex)) => {
+                    prop_assert!((dp.delay.total - ex.delay.total).abs() < 1e-6 * ex.delay.total.max(1e-9),
+                        "dp {} != exhaustive {}", dp.delay.total, ex.delay.total);
+                }
+                (None, None) => {}
+                (dp, ex) => prop_assert!(false, "feasibility mismatch: dp={:?} ex={:?}", dp.is_some(), ex.is_some()),
+            }
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! The transport-network model used by the pipeline optimizer.
+//!
+//! A [`NetGraph`] is the optimizer's view of the overlay: node compute
+//! powers `p_i`, graphics capability (for the rendering feasibility check),
+//! and directed links with *effective* bandwidth `b_{i,j}` and minimum delay
+//! `d_{i,j}`.  It can be built directly from a `ricsa-netsim` topology (using
+//! each link's mean effective bandwidth) or from active measurements (EPB
+//! estimates), which is how the paper's central-management node obtains it.
+
+use ricsa_netsim::node::NodeId;
+use ricsa_netsim::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// A node of the optimizer's network model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetNode {
+    /// Display name.
+    pub name: String,
+    /// Normalized compute power `p_i`.
+    pub power: f64,
+    /// Whether rendering modules may be placed here.
+    pub has_graphics: bool,
+}
+
+/// A directed link of the optimizer's network model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetLink {
+    /// Source node index.
+    pub from: usize,
+    /// Destination node index.
+    pub to: usize,
+    /// Effective bandwidth in bytes per second.
+    pub bandwidth: f64,
+    /// Minimum link delay in seconds.
+    pub delay: f64,
+}
+
+/// The network graph `G = (V, E)` of the paper's Section 4.2.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetGraph {
+    nodes: Vec<NetNode>,
+    links: Vec<NetLink>,
+    /// `incoming[v]` lists link indices ending at `v` (what the DP iterates
+    /// over as `adj(v_i)`).
+    incoming: Vec<Vec<usize>>,
+    /// `outgoing[v]` lists link indices leaving `v`.
+    outgoing: Vec<Vec<usize>>,
+}
+
+impl NetGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        NetGraph::default()
+    }
+
+    /// Add a node and return its index.
+    pub fn add_node(&mut self, name: impl Into<String>, power: f64, has_graphics: bool) -> usize {
+        self.nodes.push(NetNode {
+            name: name.into(),
+            power,
+            has_graphics,
+        });
+        self.incoming.push(Vec::new());
+        self.outgoing.push(Vec::new());
+        self.nodes.len() - 1
+    }
+
+    /// Add a directed link.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_link(&mut self, from: usize, to: usize, bandwidth: f64, delay: f64) -> usize {
+        assert!(from < self.nodes.len() && to < self.nodes.len(), "link endpoint out of range");
+        let idx = self.links.len();
+        self.links.push(NetLink {
+            from,
+            to,
+            bandwidth,
+            delay,
+        });
+        self.incoming[to].push(idx);
+        self.outgoing[from].push(idx);
+        idx
+    }
+
+    /// Add a symmetric pair of links.
+    pub fn add_bidirectional(&mut self, a: usize, b: usize, bandwidth: f64, delay: f64) {
+        self.add_link(a, b, bandwidth, delay);
+        self.add_link(b, a, bandwidth, delay);
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of directed links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Node by index.
+    pub fn node(&self, idx: usize) -> &NetNode {
+        &self.nodes[idx]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[NetNode] {
+        &self.nodes
+    }
+
+    /// Link by index.
+    pub fn link(&self, idx: usize) -> &NetLink {
+        &self.links[idx]
+    }
+
+    /// Indices of links ending at `node`.
+    pub fn incoming_links(&self, node: usize) -> &[usize] {
+        &self.incoming[node]
+    }
+
+    /// Indices of links leaving `node`.
+    pub fn outgoing_links(&self, node: usize) -> &[usize] {
+        &self.outgoing[node]
+    }
+
+    /// The directed link from `from` to `to`, if any.
+    pub fn link_between(&self, from: usize, to: usize) -> Option<&NetLink> {
+        self.outgoing[from]
+            .iter()
+            .map(|&i| &self.links[i])
+            .find(|l| l.to == to)
+    }
+
+    /// Find a node index by name.
+    pub fn node_by_name(&self, name: &str) -> Option<usize> {
+        self.nodes.iter().position(|n| n.name == name)
+    }
+
+    /// Build the optimizer's view from a simulator topology, using each
+    /// link's mean effective bandwidth (raw bandwidth reduced by the mean
+    /// cross-traffic load) and minimum delay.
+    pub fn from_topology(topo: &Topology) -> Self {
+        let mut g = NetGraph::new();
+        for (_, spec) in topo.nodes() {
+            g.add_node(
+                spec.name.clone(),
+                spec.compute_power,
+                spec.capabilities.has_graphics,
+            );
+        }
+        for edge in topo.edges() {
+            g.add_link(
+                edge.from.0,
+                edge.to.0,
+                edge.spec.mean_effective_bandwidth(),
+                edge.spec.min_delay,
+            );
+        }
+        g
+    }
+
+    /// Map a simulator node id to the corresponding graph index (identical
+    /// numbering when built via [`NetGraph::from_topology`]).
+    pub fn index_of(&self, node: NodeId) -> usize {
+        node.0
+    }
+
+    /// Replace the bandwidth/delay of the link `from → to` with measured
+    /// values (e.g. an EPB estimate); returns false if no such link exists.
+    pub fn set_measured(&mut self, from: usize, to: usize, bandwidth: f64, delay: f64) -> bool {
+        if let Some(idx) = self.outgoing[from]
+            .iter()
+            .copied()
+            .find(|&i| self.links[i].to == to)
+        {
+            self.links[idx].bandwidth = bandwidth;
+            self.links[idx].delay = delay;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ricsa_netsim::link::LinkSpec;
+    use ricsa_netsim::node::NodeSpec;
+
+    fn triangle() -> NetGraph {
+        let mut g = NetGraph::new();
+        let a = g.add_node("a", 1.0, true);
+        let b = g.add_node("b", 4.0, true);
+        let c = g.add_node("c", 2.0, false);
+        g.add_bidirectional(a, b, 1e6, 0.01);
+        g.add_bidirectional(b, c, 2e6, 0.02);
+        g.add_link(a, c, 0.5e6, 0.05);
+        g
+    }
+
+    #[test]
+    fn construction_and_queries() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.link_count(), 5);
+        assert_eq!(g.node(1).power, 4.0);
+        assert!(!g.node(2).has_graphics);
+        assert_eq!(g.incoming_links(2).len(), 2);
+        assert_eq!(g.outgoing_links(0).len(), 2);
+        assert!(g.link_between(0, 2).is_some());
+        assert!(g.link_between(2, 0).is_none());
+        assert_eq!(g.node_by_name("b"), Some(1));
+        assert_eq!(g.node_by_name("zzz"), None);
+    }
+
+    #[test]
+    fn measured_values_override_link_parameters() {
+        let mut g = triangle();
+        assert!(g.set_measured(0, 1, 9e6, 0.001));
+        let l = g.link_between(0, 1).unwrap();
+        assert_eq!(l.bandwidth, 9e6);
+        assert_eq!(l.delay, 0.001);
+        assert!(!g.set_measured(2, 0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn from_topology_preserves_structure() {
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeSpec::workstation("a", 1.5));
+        let b = topo.add_node(NodeSpec::cluster("b", 6.0, 8));
+        let c = topo.add_node(NodeSpec::headless("c", 1.0));
+        topo.connect(a, b, LinkSpec::from_mbps(100.0, 0.01));
+        topo.connect(b, c, LinkSpec::from_mbps(10.0, 0.02));
+        let g = NetGraph::from_topology(&topo);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.link_count(), 4);
+        assert_eq!(g.node(g.index_of(a)).power, 1.5);
+        assert!(!g.node(g.index_of(c)).has_graphics);
+        let l = g.link_between(0, 1).unwrap();
+        assert!((l.bandwidth - 12.5e6).abs() < 1.0);
+        assert_eq!(l.delay, 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_link_endpoints_panic() {
+        let mut g = NetGraph::new();
+        g.add_node("a", 1.0, true);
+        g.add_link(0, 5, 1.0, 0.0);
+    }
+}

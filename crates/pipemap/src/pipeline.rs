@@ -1,0 +1,200 @@
+//! The linear visualization pipeline model.
+//!
+//! Following the paper's Section 4.2, a pipeline is a chain of `n + 1`
+//! modules `M_1, …, M_{n+1}` where `M_1` is the data source.  Module `M_j`
+//! (`j ≥ 2`) performs a task of complexity `c_j` on the data of size
+//! `m_{j-1}` it receives and emits data of size `m_j`.  Complexities are
+//! expressed as seconds per input byte on a node of normalized compute
+//! power 1.0, so the processing time on node `v` is `c_j · m_{j-1} / p_v`.
+
+use serde::{Deserialize, Serialize};
+
+/// One processing module of the pipeline (`M_j` for `j ≥ 2`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleSpec {
+    /// Human-readable name (e.g. `"filter"`, `"isosurface"`, `"render"`).
+    pub name: String,
+    /// Computational complexity `c_j`: seconds per input byte at power 1.
+    pub complexity: f64,
+    /// Output message size `m_j` in bytes.
+    pub output_bytes: f64,
+    /// Whether this module requires graphics capability (rendering).
+    pub needs_graphics: bool,
+}
+
+impl ModuleSpec {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, complexity: f64, output_bytes: f64) -> Self {
+        ModuleSpec {
+            name: name.into(),
+            complexity,
+            output_bytes,
+            needs_graphics: false,
+        }
+    }
+
+    /// Mark the module as requiring a graphics-capable node.
+    pub fn requiring_graphics(mut self) -> Self {
+        self.needs_graphics = true;
+        self
+    }
+}
+
+/// A linear visualization pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pipeline {
+    /// Descriptive name (e.g. `"isosurface"`).
+    pub name: String,
+    /// Size of the raw dataset emitted by the source module `M_1`, bytes
+    /// (the paper's `m_1`).
+    pub source_bytes: f64,
+    /// The processing modules `M_2 … M_{n+1}` in order.
+    pub modules: Vec<ModuleSpec>,
+}
+
+impl Pipeline {
+    /// Create a pipeline.
+    ///
+    /// # Panics
+    /// Panics if no modules are given or any size/complexity is not finite
+    /// and non-negative.
+    pub fn new(name: impl Into<String>, source_bytes: f64, modules: Vec<ModuleSpec>) -> Self {
+        assert!(!modules.is_empty(), "a pipeline needs at least one module");
+        assert!(
+            source_bytes.is_finite() && source_bytes > 0.0,
+            "source size must be positive"
+        );
+        for m in &modules {
+            assert!(
+                m.complexity.is_finite() && m.complexity >= 0.0,
+                "module '{}' has invalid complexity",
+                m.name
+            );
+            assert!(
+                m.output_bytes.is_finite() && m.output_bytes >= 0.0,
+                "module '{}' has invalid output size",
+                m.name
+            );
+        }
+        Pipeline {
+            name: name.into(),
+            source_bytes,
+            modules,
+        }
+    }
+
+    /// Number of messages `n` (equals the number of processing modules; the
+    /// final module's output is displayed rather than forwarded).
+    pub fn message_count(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// The size `m_j` of message `j` (1-based; `m_0`/`m_1` in the paper's
+    /// indexing is [`Pipeline::source_bytes`]).  Message `j` is the *input*
+    /// of module index `j` (0-based `modules[j]`)'s successor, i.e. the
+    /// output of 0-based module `j - 1`.
+    pub fn input_bytes(&self, module_index: usize) -> f64 {
+        if module_index == 0 {
+            self.source_bytes
+        } else {
+            self.modules[module_index - 1].output_bytes
+        }
+    }
+
+    /// Processing time of 0-based module `module_index` on a node of
+    /// relative compute power `power`.
+    pub fn processing_time(&self, module_index: usize, power: f64) -> f64 {
+        let c = self.modules[module_index].complexity;
+        c * self.input_bytes(module_index) / power.max(1e-12)
+    }
+
+    /// The classic three-stage RICSA isosurface pipeline
+    /// (filter → isosurface extraction → rendering) with explicit
+    /// complexities and reduction ratios.
+    pub fn isosurface(
+        source_bytes: f64,
+        filter_complexity: f64,
+        iso_complexity: f64,
+        iso_output_ratio: f64,
+        render_complexity: f64,
+        image_bytes: f64,
+    ) -> Self {
+        let filtered = source_bytes;
+        let mesh = (source_bytes * iso_output_ratio).max(1.0);
+        Pipeline::new(
+            "isosurface",
+            source_bytes,
+            vec![
+                ModuleSpec::new("filter", filter_complexity, filtered),
+                ModuleSpec::new("isosurface", iso_complexity, mesh),
+                ModuleSpec::new("render", render_complexity, image_bytes).requiring_graphics(),
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Pipeline {
+        Pipeline::new(
+            "test",
+            1000.0,
+            vec![
+                ModuleSpec::new("a", 1e-3, 500.0),
+                ModuleSpec::new("b", 2e-3, 100.0),
+                ModuleSpec::new("c", 4e-3, 10.0).requiring_graphics(),
+            ],
+        )
+    }
+
+    #[test]
+    fn message_sizes_follow_the_chain() {
+        let p = sample();
+        assert_eq!(p.message_count(), 3);
+        assert_eq!(p.input_bytes(0), 1000.0);
+        assert_eq!(p.input_bytes(1), 500.0);
+        assert_eq!(p.input_bytes(2), 100.0);
+    }
+
+    #[test]
+    fn processing_time_uses_input_size_and_power() {
+        let p = sample();
+        // Module 0: 1e-3 s/B * 1000 B = 1 s at power 1, 0.5 s at power 2.
+        assert!((p.processing_time(0, 1.0) - 1.0).abs() < 1e-12);
+        assert!((p.processing_time(0, 2.0) - 0.5).abs() < 1e-12);
+        // Module 2: 4e-3 * 100 = 0.4 s.
+        assert!((p.processing_time(2, 1.0) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn graphics_requirement_is_recorded() {
+        let p = sample();
+        assert!(!p.modules[0].needs_graphics);
+        assert!(p.modules[2].needs_graphics);
+    }
+
+    #[test]
+    fn isosurface_constructor_builds_three_stages() {
+        let p = Pipeline::isosurface(16e6, 2e-9, 2.5e-8, 0.35, 6e-9, 1e6);
+        assert_eq!(p.modules.len(), 3);
+        assert_eq!(p.modules[0].name, "filter");
+        assert_eq!(p.modules[2].name, "render");
+        assert!(p.modules[2].needs_graphics);
+        assert!((p.input_bytes(2) - 16e6 * 0.35).abs() < 1.0);
+        assert_eq!(p.modules[2].output_bytes, 1e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one module")]
+    fn empty_pipeline_panics() {
+        let _ = Pipeline::new("x", 1.0, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "source size")]
+    fn non_positive_source_panics() {
+        let _ = Pipeline::new("x", 0.0, vec![ModuleSpec::new("a", 1.0, 1.0)]);
+    }
+}

@@ -1,0 +1,179 @@
+//! An AIMD (TCP-like) window controller used as a baseline.
+//!
+//! The paper motivates the Robbins–Monro transport by noting that default
+//! TCP dynamics are ill-suited for steering control channels: additive
+//! increase / multiplicative decrease produces the familiar sawtooth, i.e.
+//! high goodput jitter, and reacts to every loss event.  This controller
+//! reproduces that behaviour within the same window/sleep sender structure so
+//! the stabilization benefit can be measured (supplementary experiment for
+//! Section 3).
+
+use crate::flow::RateController;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the AIMD baseline controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AimdParams {
+    /// Fixed sleep time between bursts, seconds.
+    pub sleep: f64,
+    /// Initial window, datagrams per burst.
+    pub initial_window: u32,
+    /// Additive increase per goodput report without loss, datagrams.
+    pub increase: u32,
+    /// Multiplicative decrease factor applied on loss (0 < factor < 1).
+    pub decrease_factor: f64,
+    /// Upper bound on the window.
+    pub max_window: u32,
+}
+
+impl Default for AimdParams {
+    fn default() -> Self {
+        AimdParams {
+            sleep: 0.01,
+            initial_window: 4,
+            increase: 1,
+            decrease_factor: 0.5,
+            max_window: 1024,
+        }
+    }
+}
+
+/// The AIMD controller.
+#[derive(Debug, Clone)]
+pub struct AimdController {
+    params: AimdParams,
+    window: f64,
+    losses: u64,
+    updates: u64,
+}
+
+impl AimdController {
+    /// Create a controller from parameters.
+    pub fn new(params: AimdParams) -> Self {
+        let window = params.initial_window.max(1) as f64;
+        AimdController {
+            params,
+            window,
+            losses: 0,
+            updates: 0,
+        }
+    }
+
+    /// Loss events observed so far.
+    pub fn losses(&self) -> u64 {
+        self.losses
+    }
+
+    /// Goodput updates observed so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+}
+
+impl Default for AimdController {
+    fn default() -> Self {
+        AimdController::new(AimdParams::default())
+    }
+}
+
+impl RateController for AimdController {
+    fn on_goodput(&mut self, _goodput_bps: f64, _now: f64) {
+        self.updates += 1;
+        self.window =
+            (self.window + self.params.increase as f64).min(self.params.max_window as f64);
+    }
+
+    fn on_loss(&mut self, _now: f64) {
+        self.losses += 1;
+        self.window = (self.window * self.params.decrease_factor).max(1.0);
+    }
+
+    fn sleep_time(&self) -> f64 {
+        self.params.sleep
+    }
+
+    fn window(&self) -> u32 {
+        self.window.round().max(1.0) as u32
+    }
+
+    fn name(&self) -> &'static str {
+        "aimd"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn additive_increase() {
+        let mut c = AimdController::default();
+        let w0 = c.window();
+        for _ in 0..10 {
+            c.on_goodput(1e6, 0.0);
+        }
+        assert_eq!(c.window(), w0 + 10);
+        assert_eq!(c.updates(), 10);
+    }
+
+    #[test]
+    fn multiplicative_decrease() {
+        let mut c = AimdController::new(AimdParams {
+            initial_window: 64,
+            ..AimdParams::default()
+        });
+        c.on_loss(0.0);
+        assert_eq!(c.window(), 32);
+        c.on_loss(0.0);
+        assert_eq!(c.window(), 16);
+        assert_eq!(c.losses(), 2);
+    }
+
+    #[test]
+    fn window_bounds() {
+        let mut c = AimdController::new(AimdParams {
+            initial_window: 2,
+            max_window: 8,
+            ..AimdParams::default()
+        });
+        for _ in 0..100 {
+            c.on_goodput(1.0, 0.0);
+        }
+        assert_eq!(c.window(), 8);
+        for _ in 0..20 {
+            c.on_loss(0.0);
+        }
+        assert_eq!(c.window(), 1);
+    }
+
+    #[test]
+    fn sawtooth_has_higher_variability_than_steady_state() {
+        // Alternate growth and loss: the resulting window sequence should
+        // oscillate (coefficient of variation clearly above zero).
+        let mut c = AimdController::new(AimdParams {
+            initial_window: 16,
+            ..AimdParams::default()
+        });
+        let mut windows = Vec::new();
+        for i in 0..200 {
+            if i % 20 == 19 {
+                c.on_loss(i as f64);
+            } else {
+                c.on_goodput(1e6, i as f64);
+            }
+            windows.push(c.window() as f64);
+        }
+        let mean = windows.iter().sum::<f64>() / windows.len() as f64;
+        let std = (windows.iter().map(|w| (w - mean).powi(2)).sum::<f64>()
+            / windows.len() as f64)
+            .sqrt();
+        assert!(std / mean > 0.15, "cv {}", std / mean);
+    }
+
+    #[test]
+    fn identity() {
+        let c = AimdController::default();
+        assert_eq!(c.name(), "aimd");
+        assert!(c.sleep_time() > 0.0);
+    }
+}

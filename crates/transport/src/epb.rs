@@ -1,0 +1,314 @@
+//! Effective path bandwidth (EPB) estimation — paper Section 4.3.
+//!
+//! The paper estimates, for every virtual link of the overlay, the throughput
+//! a flow actually achieves ("effective path bandwidth") by sending test
+//! messages of several sizes, measuring their end-to-end delays, and fitting
+//! the linear model
+//!
+//! ```text
+//! d(P, r) ≈ r / EPB(P) + d0(P)
+//! ```
+//!
+//! by least squares (Eq. 3 reduces to this once the bandwidth-constrained
+//! term dominates).  The reciprocal of the fitted slope is the EPB estimate
+//! and the intercept estimates the minimum path delay; both feed the
+//! dynamic-programming optimizer as `b_{i,j}` and `d_{i,j}`.
+
+use crate::harness::{measure_message_latency, ControllerChoice, FlowExperiment};
+use crate::flow::FlowConfig;
+use crate::harness::run_flow;
+use ricsa_netsim::node::NodeId;
+use ricsa_netsim::time::SimTime;
+use ricsa_netsim::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Result of an EPB regression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpbEstimate {
+    /// Estimated effective path bandwidth, bytes per second.
+    pub epb_bps: f64,
+    /// Estimated minimum path delay (regression intercept), seconds.
+    pub min_delay: f64,
+    /// Coefficient of determination of the fit.
+    pub r_squared: f64,
+    /// Number of `(size, delay)` samples used.
+    pub samples: usize,
+}
+
+impl EpbEstimate {
+    /// Predicted transfer delay for a message of `bytes`.
+    pub fn predict_delay(&self, bytes: f64) -> f64 {
+        if self.epb_bps <= 0.0 {
+            return f64::INFINITY;
+        }
+        bytes / self.epb_bps + self.min_delay.max(0.0)
+    }
+}
+
+/// Accumulates `(message size, measured delay)` samples and fits the linear
+/// delay model.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EpbEstimator {
+    samples: Vec<(f64, f64)>,
+}
+
+impl EpbEstimator {
+    /// An estimator with no samples.
+    pub fn new() -> Self {
+        EpbEstimator::default()
+    }
+
+    /// Add a measurement: a message of `bytes` took `delay_secs` to deliver.
+    pub fn add_sample(&mut self, bytes: f64, delay_secs: f64) {
+        if bytes > 0.0 && delay_secs > 0.0 && bytes.is_finite() && delay_secs.is_finite() {
+            self.samples.push((bytes, delay_secs));
+        }
+    }
+
+    /// Number of accepted samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been accepted.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Fit `delay = size/EPB + d0` by ordinary least squares.
+    ///
+    /// Returns `None` with fewer than two samples or when all samples share
+    /// the same size (the slope is then unidentifiable).
+    pub fn fit(&self) -> Option<EpbEstimate> {
+        let n = self.samples.len();
+        if n < 2 {
+            return None;
+        }
+        let n_f = n as f64;
+        let sum_x: f64 = self.samples.iter().map(|(x, _)| x).sum();
+        let sum_y: f64 = self.samples.iter().map(|(_, y)| y).sum();
+        let mean_x = sum_x / n_f;
+        let mean_y = sum_y / n_f;
+        let sxx: f64 = self.samples.iter().map(|(x, _)| (x - mean_x).powi(2)).sum();
+        if sxx < 1e-12 {
+            return None;
+        }
+        let sxy: f64 = self
+            .samples
+            .iter()
+            .map(|(x, y)| (x - mean_x) * (y - mean_y))
+            .sum();
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+        if slope <= 0.0 {
+            // A non-positive slope means delay does not grow with size in the
+            // sampled range; EPB is effectively unbounded for these sizes.
+            return Some(EpbEstimate {
+                epb_bps: f64::INFINITY,
+                min_delay: mean_y.max(0.0),
+                r_squared: 0.0,
+                samples: n,
+            });
+        }
+        let ss_tot: f64 = self.samples.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
+        let ss_res: f64 = self
+            .samples
+            .iter()
+            .map(|(x, y)| {
+                let pred = slope * x + intercept;
+                (y - pred).powi(2)
+            })
+            .sum();
+        let r_squared = if ss_tot < 1e-18 {
+            1.0
+        } else {
+            (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
+        };
+        Some(EpbEstimate {
+            epb_bps: 1.0 / slope,
+            min_delay: intercept.max(0.0),
+            r_squared,
+            samples: n,
+        })
+    }
+}
+
+/// Parameters for the active measurement procedure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActiveMeasurementConfig {
+    /// Test message sizes, bytes.
+    pub probe_sizes: Vec<usize>,
+    /// Repetitions per size.
+    pub repetitions: usize,
+    /// Target rate used by the probing transport (bytes/s).  Probing is done
+    /// with a generous target so the path, not the controller, limits
+    /// throughput.
+    pub probe_rate_bps: f64,
+    /// Per-probe virtual-time limit.
+    pub per_probe_timeout: SimTime,
+}
+
+impl Default for ActiveMeasurementConfig {
+    fn default() -> Self {
+        ActiveMeasurementConfig {
+            probe_sizes: vec![64 * 1024, 256 * 1024, 1024 * 1024, 4 * 1024 * 1024],
+            repetitions: 2,
+            probe_rate_bps: 1e9,
+            per_probe_timeout: SimTime::from_secs(120.0),
+        }
+    }
+}
+
+/// Actively measure the effective path bandwidth between two nodes of a
+/// topology by timing test transfers of several sizes (paper Section 4.3).
+pub fn measure_path(
+    topology: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    config: &ActiveMeasurementConfig,
+    seed: u64,
+) -> Option<EpbEstimate> {
+    let mut estimator = EpbEstimator::new();
+    let mut probe_seed = seed;
+    for &size in &config.probe_sizes {
+        for _ in 0..config.repetitions.max(1) {
+            probe_seed = probe_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if let Some(latency) = measure_message_latency(
+                topology.clone(),
+                src,
+                dst,
+                size,
+                config.probe_rate_bps,
+                config.per_probe_timeout,
+                probe_seed,
+            ) {
+                estimator.add_sample(size as f64, latency);
+            }
+        }
+    }
+    estimator.fit()
+}
+
+/// Measure the *sustainable goodput* of a path with a long-running probing
+/// flow, as a cross-check of the regression-based estimate.
+pub fn measure_sustained_goodput(
+    topology: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    duration: SimTime,
+    seed: u64,
+) -> f64 {
+    let outcome = run_flow(FlowExperiment {
+        topology: topology.clone(),
+        src,
+        dst,
+        config: FlowConfig::default(),
+        controller: ControllerChoice::FixedRate { rate_bps: 1e9 },
+        duration,
+        seed,
+    });
+    outcome.steady_state_goodput()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ricsa_netsim::link::LinkSpec;
+    use ricsa_netsim::node::NodeSpec;
+
+    #[test]
+    fn regression_recovers_synthetic_bandwidth() {
+        // delay = size / 2 MB/s + 30 ms, exactly linear.
+        let mut est = EpbEstimator::new();
+        for size in [1e5, 2e5, 5e5, 1e6, 2e6] {
+            est.add_sample(size, size / 2e6 + 0.03);
+        }
+        let fit = est.fit().unwrap();
+        assert!((fit.epb_bps - 2e6).abs() / 2e6 < 1e-9);
+        assert!((fit.min_delay - 0.03).abs() < 1e-9);
+        assert!(fit.r_squared > 0.999);
+        assert!((fit.predict_delay(4e6) - (2.0 + 0.03)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_handles_noise() {
+        let mut est = EpbEstimator::new();
+        let mut sign = 1.0;
+        for i in 1..=20 {
+            let size = 1e5 * i as f64;
+            sign = -sign;
+            let noise = sign * 0.002 * (i % 3) as f64;
+            est.add_sample(size, size / 5e6 + 0.02 + noise);
+        }
+        let fit = est.fit().unwrap();
+        assert!((fit.epb_bps - 5e6).abs() / 5e6 < 0.05);
+        assert!(fit.r_squared > 0.9);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        let mut est = EpbEstimator::new();
+        assert!(est.fit().is_none());
+        est.add_sample(1e5, 0.1);
+        assert!(est.fit().is_none());
+        // Same size twice: slope unidentifiable.
+        let mut same = EpbEstimator::new();
+        same.add_sample(1e5, 0.1);
+        same.add_sample(1e5, 0.2);
+        assert!(same.fit().is_none());
+        // Invalid samples are ignored.
+        let mut bad = EpbEstimator::new();
+        bad.add_sample(-1.0, 0.1);
+        bad.add_sample(1.0, f64::NAN);
+        assert!(bad.is_empty());
+    }
+
+    #[test]
+    fn flat_delay_yields_unbounded_epb() {
+        let mut est = EpbEstimator::new();
+        est.add_sample(1e5, 0.05);
+        est.add_sample(1e6, 0.05);
+        est.add_sample(2e6, 0.049);
+        let fit = est.fit().unwrap();
+        assert!(fit.epb_bps.is_infinite());
+        assert!(fit.min_delay > 0.0);
+    }
+
+    #[test]
+    fn active_measurement_estimates_link_bandwidth() {
+        // 40 Mbit/s = 5 MB/s link with 20 ms delay and light loss.
+        let mut t = Topology::new();
+        let a = t.add_node(NodeSpec::workstation("a", 1.0));
+        let b = t.add_node(NodeSpec::workstation("b", 1.0));
+        t.connect(
+            a,
+            b,
+            LinkSpec::from_mbps(40.0, 0.02).with_queue_delay(2.0),
+        );
+        let config = ActiveMeasurementConfig {
+            probe_sizes: vec![128 * 1024, 512 * 1024, 2 * 1024 * 1024],
+            repetitions: 1,
+            ..ActiveMeasurementConfig::default()
+        };
+        let est = measure_path(&t, a, b, &config, 17).expect("measurement should succeed");
+        // The achievable goodput is below the raw 5 MB/s because of pacing
+        // and ACK overhead, but must be the right order of magnitude.
+        assert!(
+            est.epb_bps > 1.5e6 && est.epb_bps < 6e6,
+            "estimated EPB {} out of range",
+            est.epb_bps
+        );
+        assert!(est.samples >= 3);
+    }
+
+    #[test]
+    fn sustained_goodput_probe_is_capacity_limited() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeSpec::workstation("a", 1.0));
+        let b = t.add_node(NodeSpec::workstation("b", 1.0));
+        t.connect(a, b, LinkSpec::from_mbps(8.0, 0.01).with_queue_delay(0.5));
+        let goodput = measure_sustained_goodput(&t, a, b, SimTime::from_secs(20.0), 3);
+        // 8 Mbit/s = 1 MB/s; the probe should saturate but not exceed it.
+        assert!(goodput > 0.5e6 && goodput <= 1.05e6, "goodput {goodput}");
+    }
+}

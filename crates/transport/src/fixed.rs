@@ -1,0 +1,99 @@
+//! A fixed-rate (open-loop) controller used as a baseline.
+//!
+//! Sending at a constant rate with no feedback is the simplest possible
+//! control-channel strategy; it neither adapts to congestion nor recovers
+//! the target goodput after loss, and serves as the lower baseline in the
+//! transport-stabilization experiments.
+
+use crate::flow::RateController;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the fixed-rate controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FixedParams {
+    /// Sleep time between bursts, seconds.
+    pub sleep: f64,
+    /// Window, datagrams per burst.
+    pub window: u32,
+}
+
+/// The fixed-rate controller.
+#[derive(Debug, Clone)]
+pub struct FixedController {
+    params: FixedParams,
+}
+
+impl FixedController {
+    /// A controller that sends `window` datagrams every `sleep` seconds.
+    pub fn new(sleep: f64, window: u32) -> Self {
+        FixedController {
+            params: FixedParams {
+                sleep: sleep.max(1e-6),
+                window: window.max(1),
+            },
+        }
+    }
+
+    /// A controller whose nominal send rate equals `rate_bps` for a given
+    /// datagram size.
+    pub fn for_rate(rate_bps: f64, window: u32, mtu: usize) -> Self {
+        let window = window.max(1);
+        let burst_bytes = window as f64 * mtu as f64;
+        let sleep = if rate_bps > 0.0 {
+            burst_bytes / rate_bps
+        } else {
+            1.0
+        };
+        FixedController::new(sleep, window)
+    }
+}
+
+impl RateController for FixedController {
+    fn on_goodput(&mut self, _goodput_bps: f64, _now: f64) {}
+
+    fn sleep_time(&self) -> f64 {
+        self.params.sleep
+    }
+
+    fn window(&self) -> u32 {
+        self.params.window
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed-rate"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_adapts() {
+        let mut c = FixedController::new(0.02, 8);
+        let s = c.sleep_time();
+        let w = c.window();
+        c.on_goodput(1e9, 0.0);
+        c.on_loss(1.0);
+        assert_eq!(c.sleep_time(), s);
+        assert_eq!(c.window(), w);
+        assert_eq!(c.name(), "fixed-rate");
+    }
+
+    #[test]
+    fn for_rate_matches_nominal_rate() {
+        let mtu = 1000;
+        let c = FixedController::for_rate(2e6, 10, mtu);
+        let rate = (c.window() as usize * mtu) as f64 / c.sleep_time();
+        assert!((rate - 2e6).abs() / 2e6 < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_clamped() {
+        let c = FixedController::new(0.0, 0);
+        assert!(c.sleep_time() > 0.0);
+        assert_eq!(c.window(), 1);
+        let z = FixedController::for_rate(0.0, 4, 1000);
+        assert!(z.sleep_time() > 0.0);
+    }
+}

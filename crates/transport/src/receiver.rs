@@ -1,0 +1,349 @@
+//! The flow receiver: datagram reordering, ACK/NACK generation, goodput
+//! measurement (the right-hand side of the paper's Fig. 2).
+
+use crate::flow::{
+    AckInfo, FlowConfig, SharedFlowStats, KIND_ACK, KIND_DATA, MAX_NACKS_PER_ACK, NO_CUMULATIVE,
+};
+use ricsa_netsim::app::{Application, Context};
+use ricsa_netsim::node::NodeId;
+use ricsa_netsim::packet::{Datagram, Payload};
+use ricsa_netsim::time::SimTime;
+use ricsa_netsim::trace::{TraceEvent, TraceKind};
+use std::collections::{BTreeSet, VecDeque};
+
+/// Receiver half of a transport flow.
+///
+/// The receiver buffers out-of-order datagrams, delivers in-order bytes to an
+/// (accounted, not materialized) sink, estimates goodput over the interval
+/// since the previous acknowledgement and reports it back to the sender in
+/// every ACK, together with cumulative and selective (NACK) feedback.
+pub struct FlowReceiver {
+    config: FlowConfig,
+    sender: NodeId,
+    stats: SharedFlowStats,
+    /// Highest sequence number such that all `<= cumulative` are received.
+    cumulative: Option<u64>,
+    /// Out-of-order datagrams above the cumulative point.
+    pending: BTreeSet<u64>,
+    highest_seen: Option<u64>,
+    received_count: u64,
+    /// Recent arrivals `(time_secs, bytes)` kept for the sliding-window
+    /// goodput estimate.
+    recent_arrivals: VecDeque<(f64, u64)>,
+    /// First arrival time, so early estimates use the true elapsed span.
+    first_arrival: Option<f64>,
+    ack_timer_pending: bool,
+    since_last_ack: u32,
+    goodput_estimate: f64,
+    finished: bool,
+}
+
+impl FlowReceiver {
+    /// Create a receiver for `config`, acknowledging back to `sender`.
+    pub fn new(config: FlowConfig, sender: NodeId, stats: SharedFlowStats) -> Self {
+        FlowReceiver {
+            config,
+            sender,
+            stats,
+            cumulative: None,
+            pending: BTreeSet::new(),
+            highest_seen: None,
+            received_count: 0,
+            recent_arrivals: VecDeque::new(),
+            first_arrival: None,
+            ack_timer_pending: false,
+            since_last_ack: 0,
+            goodput_estimate: 0.0,
+            finished: false,
+        }
+    }
+
+    /// The sliding-window goodput estimate, bytes/second.
+    pub fn goodput_estimate(&self) -> f64 {
+        self.goodput_estimate
+    }
+
+    /// Width of the sliding window used for goodput estimation, seconds.
+    fn goodput_window(&self) -> f64 {
+        (self.config.ack_interval * 4.0).max(0.2)
+    }
+
+    /// Whether the configured finite message has been fully received.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    fn advance_cumulative(&mut self) {
+        loop {
+            let next = match self.cumulative {
+                None => 0,
+                Some(c) => c + 1,
+            };
+            if self.pending.remove(&next) {
+                self.cumulative = Some(next);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn missing_below_highest(&self) -> Vec<u64> {
+        let highest = match self.highest_seen {
+            Some(h) => h,
+            None => return Vec::new(),
+        };
+        let start = self.cumulative.map(|c| c + 1).unwrap_or(0);
+        let mut missing = Vec::new();
+        for seq in start..highest {
+            if !self.pending.contains(&seq) {
+                missing.push(seq);
+                if missing.len() >= MAX_NACKS_PER_ACK {
+                    break;
+                }
+            }
+        }
+        missing
+    }
+
+    fn send_ack(&mut self, ctx: &mut Context) {
+        let now = ctx.now();
+        let now_s = now.as_secs();
+        // Goodput over a sliding window: robust to the burst/sleep pattern of
+        // the sender, unlike a per-ACK-interval estimate.
+        let window = self.goodput_window();
+        while let Some(&(t, _)) = self.recent_arrivals.front() {
+            if now_s - t > window {
+                self.recent_arrivals.pop_front();
+            } else {
+                break;
+            }
+        }
+        let bytes_in_window: u64 = self.recent_arrivals.iter().map(|(_, b)| b).sum();
+        let span = match self.first_arrival {
+            Some(first) => (now_s - first).clamp(1e-6, window),
+            None => window,
+        };
+        self.goodput_estimate = bytes_in_window as f64 / span.max(1e-6);
+        self.since_last_ack = 0;
+
+        let ack = AckInfo {
+            cumulative: self.cumulative.unwrap_or(NO_CUMULATIVE),
+            highest_seen: self.highest_seen.unwrap_or(0),
+            missing: self.missing_below_highest(),
+            goodput_bps: self.goodput_estimate,
+            received_count: self.received_count,
+        };
+        let payload = Payload::with_data(KIND_ACK, self.config.flow_id, 0, ack.encode());
+        ctx.send(self.sender, payload);
+
+        let mut stats = self.stats.borrow_mut();
+        stats
+            .goodput_samples
+            .push((now.as_secs(), self.goodput_estimate));
+        ctx.trace(TraceEvent::new(TraceKind::Goodput {
+            flow: self.config.flow_id,
+            bytes_per_sec: self.goodput_estimate,
+        }));
+    }
+
+    fn check_completion(&mut self, ctx: &mut Context) {
+        if self.finished {
+            return;
+        }
+        if let Some(total) = self.config.total_datagrams() {
+            let done = self
+                .cumulative
+                .map(|c| c + 1 >= total)
+                .unwrap_or(total == 0);
+            if done {
+                self.finished = true;
+                let now = ctx.now();
+                let mut stats = self.stats.borrow_mut();
+                let start = stats.start_time.unwrap_or(0.0);
+                let latency = now.as_secs() - start;
+                stats.completion_time = Some(latency);
+                let bytes = self.config.message_bytes.unwrap_or(0);
+                drop(stats);
+                ctx.trace(TraceEvent::new(TraceKind::MessageDelivered {
+                    flow: self.config.flow_id,
+                    bytes,
+                    latency,
+                }));
+            }
+        }
+    }
+}
+
+impl Application for FlowReceiver {
+    fn on_start(&mut self, ctx: &mut Context) {
+        self.ack_timer_pending = true;
+        ctx.set_timer(SimTime::from_secs(self.config.ack_interval));
+    }
+
+    fn on_datagram(&mut self, ctx: &mut Context, dg: Datagram) {
+        if dg.payload.kind != KIND_DATA || dg.payload.flow != self.config.flow_id {
+            return;
+        }
+        let seq = dg.payload.seq;
+        let already = self.cumulative.map(|c| seq <= c).unwrap_or(false)
+            || self.pending.contains(&seq);
+        let mut stats = self.stats.borrow_mut();
+        if already {
+            stats.duplicates += 1;
+            drop(stats);
+            return;
+        }
+        stats.datagrams_received += 1;
+        stats.bytes_delivered += dg.payload.size as u64;
+        drop(stats);
+        self.received_count += 1;
+        let now_s = ctx.now().as_secs();
+        if self.first_arrival.is_none() {
+            self.first_arrival = Some(now_s);
+        }
+        self.recent_arrivals.push_back((now_s, dg.payload.size as u64));
+        self.highest_seen = Some(self.highest_seen.map_or(seq, |h| h.max(seq)));
+        self.pending.insert(seq);
+        self.advance_cumulative();
+        self.since_last_ack += 1;
+        if self.since_last_ack >= self.config.ack_every {
+            self.send_ack(ctx);
+        }
+        let was_finished = self.finished;
+        self.check_completion(ctx);
+        if self.finished && !was_finished {
+            // Final cumulative ACK so the sender can retire the flow; without
+            // it the sender would wait for the next periodic ACK that never
+            // comes once the receiver stops.
+            self.send_ack(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context, _timer_id: u64) {
+        // Periodic ACK so the sender keeps getting goodput feedback (and
+        // NACKs) even when data arrival stalls.
+        if self.received_count > 0 && !self.finished {
+            self.send_ack(ctx);
+        }
+        ctx.set_timer(SimTime::from_secs(self.config.ack_interval));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::shared_stats;
+    use ricsa_netsim::app::Context;
+
+    fn mk_receiver(message_bytes: Option<usize>) -> (FlowReceiver, SharedFlowStats) {
+        let stats = shared_stats();
+        let config = FlowConfig {
+            mtu: 100,
+            ack_every: 4,
+            message_bytes,
+            ..FlowConfig::default()
+        };
+        (FlowReceiver::new(config, NodeId(0), stats.clone()), stats)
+    }
+
+    fn data(seq: u64, size: usize) -> Datagram {
+        Datagram {
+            src: NodeId(0),
+            dst: NodeId(1),
+            sent_at: SimTime::ZERO,
+            payload: Payload::sized(KIND_DATA, 1, seq, size),
+        }
+    }
+
+    fn ctx_at(secs: f64) -> Context {
+        Context::new(NodeId(1), SimTime::from_secs(secs), 0, vec![0.5])
+    }
+
+    #[test]
+    fn in_order_delivery_advances_cumulative() {
+        let (mut rx, stats) = mk_receiver(None);
+        let mut ctx = ctx_at(0.0);
+        for seq in 0..3 {
+            rx.on_datagram(&mut ctx, data(seq, 100));
+        }
+        assert_eq!(rx.cumulative, Some(2));
+        assert_eq!(stats.borrow().datagrams_received, 3);
+        assert_eq!(stats.borrow().bytes_delivered, 300);
+    }
+
+    #[test]
+    fn out_of_order_datagrams_are_reordered() {
+        let (mut rx, _stats) = mk_receiver(None);
+        let mut ctx = ctx_at(0.0);
+        rx.on_datagram(&mut ctx, data(2, 100));
+        rx.on_datagram(&mut ctx, data(0, 100));
+        assert_eq!(rx.cumulative, Some(0));
+        assert_eq!(rx.missing_below_highest(), vec![1]);
+        rx.on_datagram(&mut ctx, data(1, 100));
+        assert_eq!(rx.cumulative, Some(2));
+        assert!(rx.missing_below_highest().is_empty());
+    }
+
+    #[test]
+    fn duplicates_are_counted_not_delivered() {
+        let (mut rx, stats) = mk_receiver(None);
+        let mut ctx = ctx_at(0.0);
+        rx.on_datagram(&mut ctx, data(0, 100));
+        rx.on_datagram(&mut ctx, data(0, 100));
+        assert_eq!(stats.borrow().datagrams_received, 1);
+        assert_eq!(stats.borrow().duplicates, 1);
+    }
+
+    #[test]
+    fn ack_emitted_every_n_datagrams_with_goodput() {
+        let (mut rx, stats) = mk_receiver(None);
+        let mut ctx = ctx_at(1.0);
+        for seq in 0..4 {
+            rx.on_datagram(&mut ctx, data(seq, 100));
+        }
+        // ack_every = 4, so exactly one ACK should have been queued.
+        assert_eq!(ctx.outgoing().len(), 1);
+        let ack = AckInfo::decode(&ctx.outgoing()[0].payload.data).unwrap();
+        assert_eq!(ack.cumulative, 3);
+        assert_eq!(ack.received_count, 4);
+        assert!(ack.goodput_bps > 0.0);
+        assert_eq!(stats.borrow().goodput_samples.len(), 1);
+    }
+
+    #[test]
+    fn wrong_flow_or_kind_is_ignored() {
+        let (mut rx, stats) = mk_receiver(None);
+        let mut ctx = ctx_at(0.0);
+        let mut other_flow = data(0, 100);
+        other_flow.payload.flow = 99;
+        rx.on_datagram(&mut ctx, other_flow);
+        let mut ack_kind = data(0, 100);
+        ack_kind.payload.kind = KIND_ACK;
+        rx.on_datagram(&mut ctx, ack_kind);
+        assert_eq!(stats.borrow().datagrams_received, 0);
+    }
+
+    #[test]
+    fn finite_message_completion_is_recorded() {
+        let (mut rx, stats) = mk_receiver(Some(250)); // 3 datagrams at mtu=100
+        stats.borrow_mut().start_time = Some(1.0);
+        let mut ctx = ctx_at(2.5);
+        for seq in 0..3 {
+            rx.on_datagram(&mut ctx, data(seq, 100));
+        }
+        assert!(rx.is_finished());
+        let completion = stats.borrow().completion_time.unwrap();
+        assert!((completion - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nack_list_is_bounded() {
+        let (mut rx, _stats) = mk_receiver(None);
+        let mut ctx = ctx_at(0.0);
+        // Receive only every other datagram over a long range: many gaps.
+        for seq in (0..400).step_by(2) {
+            rx.on_datagram(&mut ctx, data(seq, 10));
+        }
+        assert!(rx.missing_below_highest().len() <= MAX_NACKS_PER_ACK);
+    }
+}

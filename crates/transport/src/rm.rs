@@ -1,0 +1,297 @@
+//! The Robbins–Monro sleep-time controller (paper Eq. 1).
+//!
+//! At update step `t_{n+1}` the sleep (idle) time between bursts is
+//!
+//! ```text
+//! Ts(t_{n+1}) = 1 / ( 1/Ts(t_n)  -  a / (Wc · n^α) · (g(t_n) - g*) )
+//! ```
+//!
+//! i.e. the *burst frequency* `1/Ts` is nudged down when the measured goodput
+//! `g` exceeds the target `g*` and up when it falls short, with a gain that
+//! decays like `n^{-α}`.  Under the classical Robbins–Monro conditions on the
+//! coefficients (`α ∈ (0.5, 1]`) the goodput converges to `g*` under random
+//! losses; the original analysis is in Rao, Wu & Iyengar, IEEE Communications
+//! Letters 2004, which the paper integrates.
+
+use crate::flow::RateController;
+use serde::{Deserialize, Serialize};
+
+/// Tunable coefficients of the Robbins–Monro controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RmParams {
+    /// Target goodput `g*`, bytes per second.
+    pub target_goodput: f64,
+    /// Gain coefficient `a`.
+    pub gain: f64,
+    /// Decay exponent `α`; must lie in `(0.5, 1]` for the classical
+    /// convergence guarantees.
+    pub alpha: f64,
+    /// Congestion window `Wc` (datagrams per burst).
+    pub window: u32,
+    /// Datagram payload size, bytes (used to sanity-bound the sleep time).
+    pub mtu: usize,
+    /// Lower bound on the sleep time, seconds.
+    pub min_sleep: f64,
+    /// Upper bound on the sleep time, seconds.
+    pub max_sleep: f64,
+    /// Initial sleep time `Ts(0)`, seconds.
+    pub initial_sleep: f64,
+}
+
+impl RmParams {
+    /// Reasonable defaults for a control channel targeting `target_goodput`
+    /// bytes/second.
+    pub fn for_target(target_goodput: f64) -> Self {
+        RmParams {
+            target_goodput,
+            gain: 0.8,
+            alpha: 0.8,
+            window: 16,
+            mtu: 1358,
+            min_sleep: 1e-4,
+            max_sleep: 1.0,
+            initial_sleep: 0.05,
+        }
+    }
+
+    /// Validate the parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.target_goodput <= 0.0 {
+            return Err("target goodput must be positive".into());
+        }
+        if self.gain <= 0.0 {
+            return Err("gain must be positive".into());
+        }
+        if !(self.alpha > 0.5 && self.alpha <= 1.0) {
+            return Err(format!(
+                "alpha must lie in (0.5, 1] for Robbins-Monro convergence, got {}",
+                self.alpha
+            ));
+        }
+        if self.window == 0 {
+            return Err("window must be positive".into());
+        }
+        if self.min_sleep <= 0.0 || self.max_sleep <= self.min_sleep {
+            return Err("sleep bounds must satisfy 0 < min < max".into());
+        }
+        if !(self.initial_sleep >= self.min_sleep && self.initial_sleep <= self.max_sleep) {
+            return Err("initial sleep must lie within the sleep bounds".into());
+        }
+        Ok(())
+    }
+}
+
+/// The Robbins–Monro stochastic-approximation rate controller.
+#[derive(Debug, Clone)]
+pub struct RmController {
+    params: RmParams,
+    sleep: f64,
+    step: u64,
+}
+
+impl RmController {
+    /// Create a controller from parameters.
+    ///
+    /// # Panics
+    /// Panics if the parameters fail validation.
+    pub fn new(params: RmParams) -> Self {
+        params.validate().expect("invalid Robbins-Monro parameters");
+        let sleep = params.initial_sleep;
+        RmController {
+            params,
+            sleep,
+            step: 0,
+        }
+    }
+
+    /// The target goodput `g*` in bytes per second.
+    pub fn target(&self) -> f64 {
+        self.params.target_goodput
+    }
+
+    /// Number of goodput updates applied so far.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// The parameters this controller was built with.
+    pub fn params(&self) -> &RmParams {
+        &self.params
+    }
+
+    /// Apply one Robbins–Monro update (Eq. 1) and return the new sleep time.
+    pub fn update(&mut self, goodput_bps: f64) -> f64 {
+        self.step += 1;
+        let n = self.step as f64;
+        // Normalize the error by the per-burst payload so that the gain `a`
+        // is dimensionless and works across very different target rates.
+        let burst_bytes = (self.params.window as f64) * self.params.mtu as f64;
+        let error = goodput_bps - self.params.target_goodput;
+        let step_size = self.params.gain / (burst_bytes * n.powf(self.params.alpha));
+        let inv = 1.0 / self.sleep - step_size * error;
+        let inv = inv.clamp(1.0 / self.params.max_sleep, 1.0 / self.params.min_sleep);
+        self.sleep = 1.0 / inv;
+        self.sleep
+    }
+}
+
+impl RateController for RmController {
+    fn on_goodput(&mut self, goodput_bps: f64, _now: f64) {
+        self.update(goodput_bps);
+    }
+
+    fn sleep_time(&self) -> f64 {
+        self.sleep
+    }
+
+    fn window(&self) -> u32 {
+        self.params.window
+    }
+
+    fn name(&self) -> &'static str {
+        "robbins-monro"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(target: f64) -> RmParams {
+        RmParams::for_target(target)
+    }
+
+    #[test]
+    fn validation_rules() {
+        assert!(params(1e6).validate().is_ok());
+        let mut p = params(1e6);
+        p.alpha = 0.4;
+        assert!(p.validate().is_err());
+        p = params(1e6);
+        p.alpha = 1.2;
+        assert!(p.validate().is_err());
+        p = params(0.0);
+        assert!(p.validate().is_err());
+        p = params(1e6);
+        p.min_sleep = 0.2;
+        p.max_sleep = 0.1;
+        assert!(p.validate().is_err());
+        p = params(1e6);
+        p.initial_sleep = 10.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Robbins-Monro parameters")]
+    fn constructor_panics_on_bad_params() {
+        let mut p = params(1e6);
+        p.gain = -1.0;
+        let _ = RmController::new(p);
+    }
+
+    #[test]
+    fn goodput_above_target_slows_down() {
+        let mut c = RmController::new(params(1e6));
+        let before = c.sleep_time();
+        c.update(2e6); // measured goodput twice the target
+        assert!(c.sleep_time() > before, "sleep should grow when g > g*");
+    }
+
+    #[test]
+    fn goodput_below_target_speeds_up() {
+        let mut c = RmController::new(params(1e6));
+        let before = c.sleep_time();
+        c.update(0.2e6);
+        assert!(c.sleep_time() < before, "sleep should shrink when g < g*");
+    }
+
+    #[test]
+    fn sleep_stays_within_bounds() {
+        let p = params(1e6);
+        let (lo, hi) = (p.min_sleep, p.max_sleep);
+        let mut c = RmController::new(p.clone());
+        for _ in 0..500 {
+            c.update(100e6); // persistently way above target
+            assert!(c.sleep_time() <= hi + 1e-12);
+        }
+        let mut c = RmController::new(p);
+        for _ in 0..500 {
+            c.update(0.0); // persistently below target
+            assert!(c.sleep_time() >= lo - 1e-12);
+        }
+    }
+
+    /// Closed-loop convergence against a synthetic channel: the goodput
+    /// responds proportionally to the send rate up to a capacity, with
+    /// multiplicative noise.  The controller should drive the goodput to the
+    /// target and the late iterates should be much less variable than the
+    /// early ones (stabilization).
+    #[test]
+    fn converges_to_target_on_synthetic_channel() {
+        let target = 2e6; // 2 MB/s
+        let capacity = 10e6; // channel can do 10 MB/s
+        let mut c = RmController::new(RmParams {
+            initial_sleep: 0.2,
+            ..params(target)
+        });
+        let burst_bytes = (c.window() as usize * c.params().mtu) as f64;
+        let mut rng_state = 0x12345u64;
+        let mut noise = || {
+            // xorshift for deterministic multiplicative noise in [0.9, 1.1].
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            0.9 + 0.2 * ((rng_state % 1000) as f64 / 1000.0)
+        };
+        let mut goodputs = Vec::new();
+        for _ in 0..4000 {
+            let rate = burst_bytes / c.sleep_time();
+            let goodput = rate.min(capacity) * noise();
+            goodputs.push(goodput);
+            c.update(goodput);
+        }
+        let tail = &goodputs[3000..];
+        let tail_mean = tail.iter().sum::<f64>() / tail.len() as f64;
+        assert!(
+            (tail_mean - target).abs() / target < 0.1,
+            "tail mean {tail_mean} should approach target {target}"
+        );
+        // Late-stage variability should be dominated by the injected noise,
+        // not by the controller hunting.
+        let tail_std = (tail.iter().map(|g| (g - tail_mean).powi(2)).sum::<f64>()
+            / tail.len() as f64)
+            .sqrt();
+        assert!(tail_std / tail_mean < 0.15, "tail cv {}", tail_std / tail_mean);
+    }
+
+    #[test]
+    fn gain_decays_with_step_count() {
+        // With a large step count the same error should move the sleep time
+        // less than it does at the first step.
+        let mut early = RmController::new(params(1e6));
+        let d_early = {
+            let before = early.sleep_time();
+            early.update(5e6);
+            (early.sleep_time() - before).abs()
+        };
+        let mut late = RmController::new(params(1e6));
+        for _ in 0..200 {
+            late.update(1e6); // on-target updates advance the step counter only
+        }
+        let d_late = {
+            let before = late.sleep_time();
+            late.update(5e6);
+            (late.sleep_time() - before).abs()
+        };
+        assert!(d_late < d_early, "late {d_late} should be < early {d_early}");
+    }
+
+    #[test]
+    fn trait_impl_reports_identity() {
+        let c = RmController::new(params(1e6));
+        assert_eq!(c.name(), "robbins-monro");
+        assert_eq!(c.window(), 16);
+        assert_eq!(c.steps(), 0);
+        assert!((c.target() - 1e6).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,468 @@
+//! The window-based sender (left-hand side of the paper's Fig. 2).
+//!
+//! The sender transmits a full congestion window of `Wc` datagrams, then
+//! idles for the controller's sleep time `Ts`, repeating until the message
+//! (if finite) is fully acknowledged.  Arriving ACKs update the cumulative /
+//! selective acknowledgement state, trigger retransmission of NACKed
+//! datagrams, and feed the goodput observation to the rate controller
+//! (Robbins–Monro, AIMD or fixed-rate).
+
+use crate::flow::{
+    AckInfo, FlowConfig, RateController, SharedFlowStats, KIND_ACK, KIND_DATA, NO_CUMULATIVE,
+};
+use ricsa_netsim::app::{Application, Context};
+use ricsa_netsim::node::NodeId;
+use ricsa_netsim::packet::{Datagram, Payload};
+use ricsa_netsim::time::SimTime;
+use std::collections::BTreeSet;
+
+/// Sender half of a transport flow.
+pub struct WindowSender<C: RateController> {
+    config: FlowConfig,
+    receiver: NodeId,
+    controller: C,
+    stats: SharedFlowStats,
+    /// Next never-before-sent sequence number.
+    next_new_seq: u64,
+    /// Sequence numbers confirmed received (cumulative point).
+    cumulative_acked: Option<u64>,
+    /// Individually acknowledged datagrams above the cumulative point.
+    sacked: BTreeSet<u64>,
+    /// Datagrams the receiver reported missing, pending retransmission.
+    nacked: BTreeSet<u64>,
+    /// Datagrams sent but not yet acknowledged.
+    outstanding: BTreeSet<u64>,
+    finished: bool,
+    /// Whether the periodic burst timer is running.
+    burst_timer_armed: bool,
+    /// Whether the most recent burst managed to send anything; used to back
+    /// off the burst timer while the flow is blocked on acknowledgements.
+    last_burst_progressed: bool,
+    /// Virtual time of the last acknowledgement progress, for the
+    /// retransmission timeout that recovers lost tail datagrams (which the
+    /// receiver can never NACK because nothing newer arrives after them).
+    last_ack_progress: f64,
+}
+
+impl<C: RateController> WindowSender<C> {
+    /// Create a sender for `config` toward `receiver`, paced by `controller`.
+    ///
+    /// # Panics
+    /// Panics if the flow configuration is invalid.
+    pub fn new(
+        config: FlowConfig,
+        receiver: NodeId,
+        controller: C,
+        stats: SharedFlowStats,
+    ) -> Self {
+        config.validate().expect("invalid flow configuration");
+        WindowSender {
+            config,
+            receiver,
+            controller,
+            stats,
+            next_new_seq: 0,
+            cumulative_acked: None,
+            sacked: BTreeSet::new(),
+            nacked: BTreeSet::new(),
+            outstanding: BTreeSet::new(),
+            finished: false,
+            burst_timer_armed: false,
+            last_burst_progressed: true,
+            last_ack_progress: 0.0,
+        }
+    }
+
+    /// Whether every datagram of a finite message has been acknowledged.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Access the rate controller (e.g. to inspect its converged state).
+    pub fn controller(&self) -> &C {
+        &self.controller
+    }
+
+    fn total_datagrams(&self) -> Option<u64> {
+        self.config.total_datagrams()
+    }
+
+    fn is_acked(&self, seq: u64) -> bool {
+        self.cumulative_acked.map(|c| seq <= c).unwrap_or(false) || self.sacked.contains(&seq)
+    }
+
+    fn datagram_size(&self, seq: u64) -> usize {
+        match (self.config.message_bytes, self.total_datagrams()) {
+            (Some(bytes), Some(total)) if seq + 1 == total => {
+                let rem = bytes % self.config.mtu;
+                if rem == 0 {
+                    self.config.mtu
+                } else {
+                    rem
+                }
+            }
+            _ => self.config.mtu,
+        }
+    }
+
+    fn send_seq(&mut self, ctx: &mut Context, seq: u64, retransmission: bool) {
+        let size = self.datagram_size(seq);
+        ctx.send(
+            self.receiver,
+            Payload::sized(KIND_DATA, self.config.flow_id, seq, size),
+        );
+        self.outstanding.insert(seq);
+        let mut stats = self.stats.borrow_mut();
+        stats.datagrams_sent += 1;
+        if retransmission {
+            stats.retransmissions += 1;
+        }
+        if stats.start_time.is_none() {
+            stats.start_time = Some(ctx.now().as_secs());
+        }
+    }
+
+    fn send_burst(&mut self, ctx: &mut Context) {
+        if self.finished {
+            return;
+        }
+        // Retransmission timeout: if every datagram has been sent, none have
+        // been acknowledged for a while and no NACKs are pending, the tail of
+        // the message was lost (the receiver cannot NACK datagrams it never
+        // saw anything after).  Re-queue the outstanding datagrams.
+        let now = ctx.now().as_secs();
+        let all_sent = self
+            .total_datagrams()
+            .map(|total| self.next_new_seq >= total)
+            .unwrap_or(false);
+        let rto = (self.config.ack_interval * 4.0).max(0.2);
+        if all_sent
+            && self.nacked.is_empty()
+            && !self.outstanding.is_empty()
+            && now - self.last_ack_progress > rto
+        {
+            self.nacked.extend(self.outstanding.iter().copied());
+            self.last_ack_progress = now;
+        }
+        let window = self.controller.window().max(1) as usize;
+        let mut sent = 0usize;
+
+        // Retransmissions take priority over new data.
+        let retrans: Vec<u64> = self.nacked.iter().copied().take(window).collect();
+        for seq in retrans {
+            self.nacked.remove(&seq);
+            if self.is_acked(seq) {
+                continue;
+            }
+            self.send_seq(ctx, seq, true);
+            sent += 1;
+            if sent >= window {
+                break;
+            }
+        }
+
+        // New datagrams, subject to the outstanding cap and message bound.
+        while sent < window {
+            if self.outstanding.len() >= self.config.max_outstanding {
+                break;
+            }
+            if let Some(total) = self.total_datagrams() {
+                if self.next_new_seq >= total {
+                    break;
+                }
+            }
+            let seq = self.next_new_seq;
+            self.next_new_seq += 1;
+            self.send_seq(ctx, seq, false);
+            sent += 1;
+        }
+
+        self.last_burst_progressed = sent > 0;
+        // Record the controller state for the experiment harness (only on
+        // productive bursts, and bounded so week-long runs stay cheap).
+        if sent > 0 {
+            let now = ctx.now().as_secs();
+            let mut stats = self.stats.borrow_mut();
+            if stats.sleep_samples.len() < 100_000 {
+                stats.sleep_samples.push((now, self.controller.sleep_time()));
+            }
+        }
+    }
+
+    fn arm_burst_timer(&mut self, ctx: &mut Context) {
+        self.burst_timer_armed = true;
+        // While the flow is blocked on acknowledgements (nothing could be
+        // sent), waking up at the raw sleep interval would just spin; back
+        // off to a fraction of the ACK interval instead.
+        let mut delay = self.controller.sleep_time().max(1e-6);
+        if !self.last_burst_progressed {
+            delay = delay.max(self.config.ack_interval * 0.5).max(1e-3);
+        }
+        ctx.set_timer(SimTime::from_secs(delay));
+    }
+
+    fn handle_ack(&mut self, ctx: &mut Context, ack: AckInfo) {
+        let now = ctx.now().as_secs();
+        let outstanding_before = self.outstanding.len();
+        // Cumulative acknowledgement.
+        if ack.cumulative != NO_CUMULATIVE {
+            let newly_cumulative = ack.cumulative;
+            self.cumulative_acked = Some(
+                self.cumulative_acked
+                    .map_or(newly_cumulative, |c| c.max(newly_cumulative)),
+            );
+            let acked: Vec<u64> = self
+                .outstanding
+                .iter()
+                .copied()
+                .take_while(|s| *s <= newly_cumulative)
+                .collect();
+            for seq in acked {
+                self.outstanding.remove(&seq);
+            }
+            self.sacked.retain(|s| *s > newly_cumulative);
+        }
+        // Selective acknowledgement: everything at or below `highest_seen`
+        // that is not listed as missing has been received.
+        let missing: BTreeSet<u64> = ack.missing.iter().copied().collect();
+        let below_highest: Vec<u64> = self
+            .outstanding
+            .iter()
+            .copied()
+            .filter(|s| *s <= ack.highest_seen && !missing.contains(s))
+            .collect();
+        for seq in below_highest {
+            self.outstanding.remove(&seq);
+            self.sacked.insert(seq);
+        }
+        // NACK-driven retransmission + loss signal to the controller.
+        if !missing.is_empty() {
+            self.controller.on_loss(now);
+        }
+        for seq in missing {
+            if !self.is_acked(seq) {
+                self.nacked.insert(seq);
+            }
+        }
+        // Goodput observation drives the Robbins-Monro / AIMD update.
+        if ack.goodput_bps > 0.0 {
+            self.controller.on_goodput(ack.goodput_bps, now);
+        }
+        if self.outstanding.len() < outstanding_before {
+            self.last_ack_progress = now;
+        }
+        // Completion check for finite messages.
+        if let Some(total) = self.total_datagrams() {
+            let done = self
+                .cumulative_acked
+                .map(|c| c + 1 >= total)
+                .unwrap_or(false)
+                || (self.sacked.len() as u64 + self.cumulative_acked.map(|c| c + 1).unwrap_or(0)
+                    >= total
+                    && self.nacked.is_empty()
+                    && self.next_new_seq >= total);
+            if done {
+                self.finished = true;
+            }
+        }
+    }
+}
+
+impl<C: RateController> Application for WindowSender<C> {
+    fn on_start(&mut self, ctx: &mut Context) {
+        self.send_burst(ctx);
+        self.arm_burst_timer(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context, _timer_id: u64) {
+        if self.finished {
+            self.burst_timer_armed = false;
+            return;
+        }
+        self.send_burst(ctx);
+        self.arm_burst_timer(ctx);
+    }
+
+    fn on_datagram(&mut self, ctx: &mut Context, dg: Datagram) {
+        if dg.payload.kind != KIND_ACK || dg.payload.flow != self.config.flow_id {
+            return;
+        }
+        if let Some(ack) = AckInfo::decode(&dg.payload.data) {
+            self.handle_ack(ctx, ack);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::FixedController;
+    use crate::flow::shared_stats;
+
+    fn mk_sender(message_bytes: Option<usize>, window: u32) -> (WindowSender<FixedController>, SharedFlowStats) {
+        let stats = shared_stats();
+        let config = FlowConfig {
+            mtu: 100,
+            window,
+            message_bytes,
+            max_outstanding: 1000,
+            ..FlowConfig::default()
+        };
+        let sender = WindowSender::new(
+            config,
+            NodeId(1),
+            FixedController::new(0.01, window),
+            stats.clone(),
+        );
+        (sender, stats)
+    }
+
+    fn ctx_at(secs: f64) -> Context {
+        Context::new(NodeId(0), SimTime::from_secs(secs), 0, vec![0.5])
+    }
+
+    fn ack_payload(ack: &AckInfo) -> Datagram {
+        Datagram {
+            src: NodeId(1),
+            dst: NodeId(0),
+            sent_at: SimTime::ZERO,
+            payload: Payload::with_data(KIND_ACK, 1, 0, ack.encode()),
+        }
+    }
+
+    #[test]
+    fn first_burst_sends_window_datagrams() {
+        let (mut tx, stats) = mk_sender(None, 8);
+        let mut ctx = ctx_at(0.0);
+        tx.on_start(&mut ctx);
+        let data_sends = ctx
+            .outgoing()
+            .iter()
+            .filter(|s| s.payload.kind == KIND_DATA)
+            .count();
+        assert_eq!(data_sends, 8);
+        assert_eq!(stats.borrow().datagrams_sent, 8);
+        assert_eq!(ctx.scheduled_timers().len(), 1);
+    }
+
+    #[test]
+    fn finite_message_sends_exact_datagram_count_and_sizes() {
+        let (mut tx, _stats) = mk_sender(Some(250), 16);
+        let mut ctx = ctx_at(0.0);
+        tx.on_start(&mut ctx);
+        let sizes: Vec<usize> = ctx
+            .outgoing()
+            .iter()
+            .filter(|s| s.payload.kind == KIND_DATA)
+            .map(|s| s.payload.size)
+            .collect();
+        assert_eq!(sizes, vec![100, 100, 50]);
+    }
+
+    #[test]
+    fn cumulative_ack_clears_outstanding_and_finishes() {
+        let (mut tx, _stats) = mk_sender(Some(300), 16);
+        let mut ctx = ctx_at(0.0);
+        tx.on_start(&mut ctx);
+        assert!(!tx.is_finished());
+        let ack = AckInfo {
+            cumulative: 2,
+            highest_seen: 2,
+            missing: vec![],
+            goodput_bps: 1e5,
+            received_count: 3,
+        };
+        tx.on_datagram(&mut ctx, ack_payload(&ack));
+        assert!(tx.is_finished());
+        assert!(tx.outstanding.is_empty());
+    }
+
+    #[test]
+    fn nacks_trigger_retransmission_before_new_data() {
+        let (mut tx, stats) = mk_sender(None, 4);
+        let mut ctx = ctx_at(0.0);
+        tx.on_start(&mut ctx); // seqs 0..4 sent
+        let ack = AckInfo {
+            cumulative: 0,
+            highest_seen: 3,
+            missing: vec![1, 2],
+            goodput_bps: 1e5,
+            received_count: 2,
+        };
+        tx.on_datagram(&mut ctx, ack_payload(&ack));
+        let mut ctx2 = ctx_at(0.01);
+        tx.on_timer(&mut ctx2, 0);
+        let sent_seqs: Vec<u64> = ctx2
+            .outgoing()
+            .iter()
+            .filter(|s| s.payload.kind == KIND_DATA)
+            .map(|s| s.payload.seq)
+            .collect();
+        assert!(sent_seqs.starts_with(&[1, 2]), "got {sent_seqs:?}");
+        assert_eq!(stats.borrow().retransmissions, 2);
+    }
+
+    #[test]
+    fn sack_prevents_redundant_retransmission() {
+        let (mut tx, _stats) = mk_sender(None, 4);
+        let mut ctx = ctx_at(0.0);
+        tx.on_start(&mut ctx); // 0..4 outstanding
+        let ack = AckInfo {
+            cumulative: NO_CUMULATIVE,
+            highest_seen: 3,
+            missing: vec![0],
+            goodput_bps: 0.0,
+            received_count: 3,
+        };
+        tx.on_datagram(&mut ctx, ack_payload(&ack));
+        // 1,2,3 are sacked; only 0 should be pending retransmission.
+        assert_eq!(tx.nacked.iter().copied().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(tx.outstanding.iter().copied().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn outstanding_cap_limits_new_data() {
+        let stats = shared_stats();
+        let config = FlowConfig {
+            mtu: 100,
+            window: 16,
+            max_outstanding: 10,
+            ..FlowConfig::default()
+        };
+        let mut tx = WindowSender::new(config, NodeId(1), FixedController::new(0.01, 16), stats);
+        let mut ctx = ctx_at(0.0);
+        tx.on_start(&mut ctx);
+        assert_eq!(ctx.outgoing().len(), 10);
+    }
+
+    #[test]
+    fn timer_after_finish_stops_sending() {
+        let (mut tx, _stats) = mk_sender(Some(100), 4);
+        let mut ctx = ctx_at(0.0);
+        tx.on_start(&mut ctx);
+        let ack = AckInfo {
+            cumulative: 0,
+            highest_seen: 0,
+            missing: vec![],
+            goodput_bps: 1e5,
+            received_count: 1,
+        };
+        tx.on_datagram(&mut ctx, ack_payload(&ack));
+        assert!(tx.is_finished());
+        let mut ctx2 = ctx_at(1.0);
+        tx.on_timer(&mut ctx2, 0);
+        assert!(ctx2.outgoing().is_empty());
+        assert!(ctx2.scheduled_timers().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid flow configuration")]
+    fn invalid_config_panics() {
+        let stats = shared_stats();
+        let config = FlowConfig {
+            mtu: 0,
+            ..FlowConfig::default()
+        };
+        let _ = WindowSender::new(config, NodeId(1), FixedController::new(0.01, 4), stats);
+    }
+}

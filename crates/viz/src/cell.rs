@@ -1,0 +1,221 @@
+//! Cube-cell geometry and the canonical 15 marching-cubes case classes.
+//!
+//! A cell has 8 corners; thresholding against the isovalue gives one of 256
+//! corner configurations.  The classic marching-cubes presentation groups
+//! those 256 configurations into **15 equivalence classes** under the 24
+//! rotations of the cube plus inside/outside complementation — the same 15
+//! cases the paper's isosurface cost model (Eq. 5) collects statistics over.
+//!
+//! Rather than hard-coding a 256-entry lookup copied from reference code,
+//! the class of every configuration is derived *from the symmetry group
+//! itself* at first use: the canonical representative of a configuration is
+//! the smallest bitmask in its orbit under rotation and complement, and the
+//! class index is the rank of that representative.  A unit test pins the
+//! class count to exactly 15.
+
+use std::sync::OnceLock;
+
+/// Number of marching-cubes equivalence classes (including the empty case).
+pub const CASE_CLASS_COUNT: usize = 15;
+
+/// Voxel-space offsets of the 8 cell corners, in the order used throughout
+/// this crate (x varies fastest, then y, then z).
+pub const CORNER_OFFSETS: [[usize; 3]; 8] = [
+    [0, 0, 0],
+    [1, 0, 0],
+    [0, 1, 0],
+    [1, 1, 0],
+    [0, 0, 1],
+    [1, 0, 1],
+    [0, 1, 1],
+    [1, 1, 1],
+];
+
+/// The corner configuration of a cell: bit `i` is set when corner `i` is at
+/// or above the isovalue.
+pub fn corner_config(values: &[f32; 8], isovalue: f32) -> u8 {
+    let mut config = 0u8;
+    for (i, &v) in values.iter().enumerate() {
+        if v >= isovalue {
+            config |= 1 << i;
+        }
+    }
+    config
+}
+
+/// The marching-cubes case class (0..15) of a corner configuration.
+///
+/// Class 0 is always the empty/full configuration (no isosurface crosses the
+/// cell); the remaining classes are numbered by ascending canonical
+/// representative.
+pub fn case_class(config: u8) -> usize {
+    class_table()[config as usize]
+}
+
+/// Whether a configuration produces any isosurface geometry at all.
+pub fn is_active(config: u8) -> bool {
+    config != 0 && config != 0xFF
+}
+
+/// The three corner-axis permutations generating the rotation group,
+/// expressed as corner index permutations: `perm[i]` is where corner `i`
+/// moves to.
+fn rotation_generators() -> [[usize; 8]; 3] {
+    // Rotations by 90 degrees about the x, y and z axes.  The corner at
+    // (x, y, z) maps to:
+    //   Rx: (x, 1-z, y)     Ry: (z, y, 1-x)     Rz: (1-y, x, z)
+    let mut gens = [[0usize; 8]; 3];
+    for (g, map) in gens.iter_mut().zip([
+        |c: [usize; 3]| [c[0], 1 - c[2], c[1]],
+        |c: [usize; 3]| [c[2], c[1], 1 - c[0]],
+        |c: [usize; 3]| [1 - c[1], c[0], c[2]],
+    ]) {
+        for (i, &corner) in CORNER_OFFSETS.iter().enumerate() {
+            let target = map(corner);
+            let j = CORNER_OFFSETS
+                .iter()
+                .position(|&c| c == target)
+                .expect("rotated corner must be a corner");
+            g[i] = j;
+        }
+    }
+    gens
+}
+
+/// All 24 rotation permutations of the cube corners.
+fn all_rotations() -> Vec<[usize; 8]> {
+    let gens = rotation_generators();
+    let identity: [usize; 8] = [0, 1, 2, 3, 4, 5, 6, 7];
+    let compose = |a: &[usize; 8], b: &[usize; 8]| -> [usize; 8] {
+        let mut out = [0usize; 8];
+        for i in 0..8 {
+            out[i] = b[a[i]];
+        }
+        out
+    };
+    let mut rotations = vec![identity];
+    // Breadth-first closure under the generators.
+    let mut frontier = vec![identity];
+    while let Some(r) = frontier.pop() {
+        for g in &gens {
+            let candidate = compose(&r, g);
+            if !rotations.contains(&candidate) {
+                rotations.push(candidate);
+                frontier.push(candidate);
+            }
+        }
+    }
+    rotations
+}
+
+fn apply_permutation(config: u8, perm: &[usize; 8]) -> u8 {
+    let mut out = 0u8;
+    for (i, &target) in perm.iter().enumerate() {
+        if config & (1 << i) != 0 {
+            out |= 1 << target;
+        }
+    }
+    out
+}
+
+fn class_table() -> &'static [usize; 256] {
+    static TABLE: OnceLock<[usize; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let rotations = all_rotations();
+        // Canonical representative: minimum over the orbit of {config,
+        // complement(config)} under all rotations.
+        let canonical = |config: u8| -> u8 {
+            let mut best = u8::MAX;
+            for r in &rotations {
+                let a = apply_permutation(config, r);
+                let b = apply_permutation(!config, r);
+                best = best.min(a).min(b);
+            }
+            best
+        };
+        let mut reps: Vec<u8> = (0u16..256).map(|c| canonical(c as u8)).collect::<Vec<_>>();
+        let mut unique: Vec<u8> = reps.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        let mut table = [0usize; 256];
+        for (config, rep) in reps.drain(..).enumerate() {
+            let class = unique
+                .binary_search(&rep)
+                .expect("representative must be in the unique list");
+            table[config] = class;
+        }
+        table
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn rotation_group_has_24_elements() {
+        assert_eq!(all_rotations().len(), 24);
+    }
+
+    #[test]
+    fn there_are_exactly_15_case_classes() {
+        let classes: HashSet<usize> = (0u16..256).map(|c| case_class(c as u8)).collect();
+        assert_eq!(classes.len(), CASE_CLASS_COUNT);
+        // Classes are contiguous 0..15.
+        assert_eq!(*classes.iter().max().unwrap(), CASE_CLASS_COUNT - 1);
+    }
+
+    #[test]
+    fn empty_and_full_share_the_trivial_class() {
+        assert_eq!(case_class(0x00), case_class(0xFF));
+        assert_eq!(case_class(0x00), 0);
+        assert!(!is_active(0x00));
+        assert!(!is_active(0xFF));
+        assert!(is_active(0x01));
+    }
+
+    #[test]
+    fn class_is_invariant_under_rotation_and_complement() {
+        let rotations = all_rotations();
+        for config in 0u16..256 {
+            let config = config as u8;
+            let class = case_class(config);
+            assert_eq!(case_class(!config), class, "complement of {config:#x}");
+            for r in &rotations {
+                assert_eq!(
+                    case_class(apply_permutation(config, r)),
+                    class,
+                    "rotation of {config:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_corner_configs_share_one_class() {
+        let class = case_class(0x01);
+        for corner in 0..8 {
+            assert_eq!(case_class(1 << corner), class);
+        }
+        // A single corner is a different class from two opposite corners.
+        assert_ne!(case_class(0x01), case_class(0x81));
+    }
+
+    #[test]
+    fn corner_config_thresholding() {
+        let values = [0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0];
+        assert_eq!(corner_config(&values, 0.5), 0b1010_1010);
+        assert_eq!(corner_config(&values, -1.0), 0xFF);
+        assert_eq!(corner_config(&values, 2.0), 0x00);
+        // Ties count as inside (>= isovalue).
+        assert_eq!(corner_config(&values, 1.0), 0b1010_1010);
+    }
+
+    #[test]
+    fn corner_offsets_are_the_unit_cube() {
+        let set: HashSet<[usize; 3]> = CORNER_OFFSETS.iter().copied().collect();
+        assert_eq!(set.len(), 8);
+        assert!(set.iter().all(|c| c.iter().all(|&v| v <= 1)));
+    }
+}

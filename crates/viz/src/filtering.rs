@@ -1,0 +1,252 @@
+//! The filtering / preprocessing stage of the visualization pipeline.
+//!
+//! Per the paper (Section 4.1) "the filtering module extracts the information
+//! of interest from the raw data and performs necessary preprocessing to
+//! improve processing efficiency and save communication resources as well."
+//! Concretely this stage selects a variable, optionally restricts to an
+//! octree subset, clamps/normalizes the value range and can down-sample —
+//! each option reduces the size `m_j` of the data flowing downstream, which
+//! is exactly what the delay model cares about.
+
+use ricsa_vizdata::downsample::downsample;
+use ricsa_vizdata::field::ScalarField;
+use ricsa_vizdata::io::VolumeContainer;
+use ricsa_vizdata::octree::Octree;
+use serde::{Deserialize, Serialize};
+
+/// Filtering parameters, chosen by the user in the client GUI and shipped
+/// over the control channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FilterParams {
+    /// Which variable of the multivariate container to visualize.
+    pub variable: String,
+    /// Octant (0..8) to restrict to, or `None` for the whole dataset —
+    /// the GUI's "one of the eight octree subsets or entire dataset".
+    pub octant: Option<usize>,
+    /// Integer down-sampling factor (1 = none).
+    pub downsample_factor: usize,
+    /// Clamp values to this range and rescale to `[0, 1]`, if set.
+    pub normalize_range: Option<(f32, f32)>,
+    /// Octree block size used for the subset selection and later extraction.
+    pub block_size: usize,
+}
+
+impl Default for FilterParams {
+    fn default() -> Self {
+        FilterParams {
+            variable: "pressure".to_string(),
+            octant: None,
+            downsample_factor: 1,
+            normalize_range: None,
+            block_size: 16,
+        }
+    }
+}
+
+/// Errors from the filtering stage.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FilterError {
+    /// The requested variable is not present in the container.
+    UnknownVariable(String),
+    /// The parameters are invalid (e.g. zero down-sampling factor).
+    BadParams(String),
+}
+
+impl std::fmt::Display for FilterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FilterError::UnknownVariable(v) => write!(f, "unknown variable '{v}'"),
+            FilterError::BadParams(m) => write!(f, "bad filter parameters: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FilterError {}
+
+/// Apply the filtering stage to a raw container, producing the derived field
+/// handed to the transformation stage.
+pub fn apply_filter(container: &VolumeContainer, params: &FilterParams) -> Result<ScalarField, FilterError> {
+    if params.downsample_factor == 0 {
+        return Err(FilterError::BadParams("downsample factor must be >= 1".into()));
+    }
+    if params.block_size == 0 {
+        return Err(FilterError::BadParams("block size must be >= 1".into()));
+    }
+    let field = container
+        .variable(&params.variable)
+        .ok_or_else(|| FilterError::UnknownVariable(params.variable.clone()))?;
+
+    // Octant restriction: zero out everything outside the selected octant so
+    // the downstream modules only see the subset (the data size reduction is
+    // what matters to the pipeline model; a crop would also change dims).
+    let mut working = field.clone();
+    if let Some(octant) = params.octant {
+        let octree = Octree::build(&working, params.block_size);
+        let keep: Vec<_> = octree.octant_blocks(octant).iter().map(|b| (b.min, b.max)).collect();
+        let mut mask = ScalarField::zeros(working.dims);
+        for (lo, hi) in keep {
+            for z in lo[2]..hi[2] {
+                for y in lo[1]..hi[1] {
+                    for x in lo[0]..hi[0] {
+                        mask.set(x, y, z, working.get(x, y, z));
+                    }
+                }
+            }
+        }
+        working = mask;
+    }
+
+    if params.downsample_factor > 1 {
+        working = downsample(&working, params.downsample_factor);
+    }
+
+    if let Some((lo, hi)) = params.normalize_range {
+        if hi <= lo {
+            return Err(FilterError::BadParams(format!(
+                "normalize range [{lo}, {hi}] is empty"
+            )));
+        }
+        let span = hi - lo;
+        for v in &mut working.data {
+            *v = ((*v - lo) / span).clamp(0.0, 1.0);
+        }
+    }
+    Ok(working)
+}
+
+/// The fraction by which filtering reduces the data size, used by the cost
+/// database to set the filter module's output size.
+pub fn reduction_factor(params: &FilterParams) -> f64 {
+    let octant = if params.octant.is_some() { 1.0 / 8.0 } else { 1.0 };
+    let ds = params.downsample_factor.max(1).pow(3) as f64;
+    octant / ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ricsa_vizdata::field::Dims;
+
+    fn container() -> VolumeContainer {
+        let mut c = VolumeContainer::new(1, 0.5);
+        c.push(
+            "pressure",
+            ScalarField::from_fn(Dims::cube(16), |x, y, z| (x + y + z) as f32),
+        );
+        c.push(
+            "density",
+            ScalarField::from_fn(Dims::cube(16), |x, _, _| x as f32),
+        );
+        c
+    }
+
+    #[test]
+    fn selects_the_requested_variable() {
+        let c = container();
+        let f = apply_filter(&c, &FilterParams::default()).unwrap();
+        assert_eq!(f.get(1, 2, 3), 6.0);
+        let g = apply_filter(
+            &c,
+            &FilterParams {
+                variable: "density".into(),
+                ..FilterParams::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(g.get(5, 2, 3), 5.0);
+    }
+
+    #[test]
+    fn unknown_variable_is_an_error() {
+        let c = container();
+        let err = apply_filter(
+            &c,
+            &FilterParams {
+                variable: "vorticity".into(),
+                ..FilterParams::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, FilterError::UnknownVariable(_)));
+        assert!(err.to_string().contains("vorticity"));
+    }
+
+    #[test]
+    fn octant_selection_zeroes_the_rest() {
+        let c = container();
+        let params = FilterParams {
+            octant: Some(0),
+            block_size: 8,
+            ..FilterParams::default()
+        };
+        let f = apply_filter(&c, &params).unwrap();
+        // Octant 0 covers the low corner; a voxel there keeps its value.
+        assert_eq!(f.get(2, 2, 2), 6.0);
+        // A voxel in the opposite octant is zeroed.
+        assert_eq!(f.get(12, 12, 12), 0.0);
+    }
+
+    #[test]
+    fn downsampling_shrinks_and_normalization_rescales() {
+        let c = container();
+        let params = FilterParams {
+            downsample_factor: 2,
+            normalize_range: Some((0.0, 45.0)),
+            ..FilterParams::default()
+        };
+        let f = apply_filter(&c, &params).unwrap();
+        assert_eq!(f.dims, Dims::cube(8));
+        let (lo, hi) = f.value_range();
+        assert!(lo >= 0.0 && hi <= 1.0);
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        let c = container();
+        assert!(apply_filter(
+            &c,
+            &FilterParams {
+                downsample_factor: 0,
+                ..FilterParams::default()
+            }
+        )
+        .is_err());
+        assert!(apply_filter(
+            &c,
+            &FilterParams {
+                block_size: 0,
+                ..FilterParams::default()
+            }
+        )
+        .is_err());
+        assert!(apply_filter(
+            &c,
+            &FilterParams {
+                normalize_range: Some((1.0, 1.0)),
+                ..FilterParams::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn reduction_factor_combines_octant_and_downsampling() {
+        assert_eq!(reduction_factor(&FilterParams::default()), 1.0);
+        let octant = FilterParams {
+            octant: Some(3),
+            ..FilterParams::default()
+        };
+        assert!((reduction_factor(&octant) - 0.125).abs() < 1e-12);
+        let ds = FilterParams {
+            downsample_factor: 2,
+            ..FilterParams::default()
+        };
+        assert!((reduction_factor(&ds) - 0.125).abs() < 1e-12);
+        let both = FilterParams {
+            octant: Some(1),
+            downsample_factor: 2,
+            ..FilterParams::default()
+        };
+        assert!((reduction_factor(&both) - 0.015625).abs() < 1e-12);
+    }
+}

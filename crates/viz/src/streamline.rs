@@ -1,0 +1,256 @@
+//! Streamline generation in vector fields.
+//!
+//! The third visualization technique the paper models (Section 4.4.3): the
+//! cost is dominated by the number of seed points and the number of advection
+//! steps per streamline, with a per-advection cost measured on each machine.
+//! Integration uses classical fourth-order Runge–Kutta.
+
+use ricsa_vizdata::field::VectorField;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a streamline tracing pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamlineConfig {
+    /// Integration step size, voxels.
+    pub step: f32,
+    /// Maximum number of advection steps per streamline (the paper's
+    /// `n_steps`).
+    pub max_steps: usize,
+    /// Terminate a streamline when the local speed drops below this value.
+    pub min_speed: f32,
+}
+
+impl Default for StreamlineConfig {
+    fn default() -> Self {
+        StreamlineConfig {
+            step: 0.5,
+            max_steps: 256,
+            min_speed: 1e-4,
+        }
+    }
+}
+
+/// One traced streamline.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Streamline {
+    /// The polyline vertices, starting at the seed point.
+    pub points: Vec<[f32; 3]>,
+}
+
+impl Streamline {
+    /// Number of advection steps actually taken.
+    pub fn steps(&self) -> usize {
+        self.points.len().saturating_sub(1)
+    }
+
+    /// Total arc length of the polyline.
+    pub fn length(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| {
+                let d = [
+                    (w[1][0] - w[0][0]) as f64,
+                    (w[1][1] - w[0][1]) as f64,
+                    (w[1][2] - w[0][2]) as f64,
+                ];
+                (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt()
+            })
+            .sum()
+    }
+}
+
+/// A set of streamlines traced from a set of seeds.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamlineSet {
+    /// One streamline per seed, in seed order.
+    pub lines: Vec<Streamline>,
+}
+
+impl StreamlineSet {
+    /// Total number of advection steps across all streamlines (the cost
+    /// model's `n_seeds × n_steps` upper bound is attained only when no line
+    /// exits the domain early).
+    pub fn total_steps(&self) -> usize {
+        self.lines.iter().map(|l| l.steps()).sum()
+    }
+
+    /// Size in bytes when shipped downstream (three `f32` per vertex).
+    pub fn nbytes(&self) -> usize {
+        self.lines.iter().map(|l| l.points.len() * 12).sum()
+    }
+}
+
+/// Trace one streamline from `seed` through `field`.
+pub fn trace_streamline(field: &VectorField, seed: [f32; 3], config: &StreamlineConfig) -> Streamline {
+    let d = field.dims;
+    let inside = |p: [f32; 3]| {
+        p[0] >= 0.0
+            && p[1] >= 0.0
+            && p[2] >= 0.0
+            && p[0] <= (d.nx.saturating_sub(1)) as f32
+            && p[1] <= (d.ny.saturating_sub(1)) as f32
+            && p[2] <= (d.nz.saturating_sub(1)) as f32
+    };
+    let sample = |p: [f32; 3]| field.sample_trilinear(p[0], p[1], p[2]);
+    let mut points = vec![seed];
+    let mut p = seed;
+    if !inside(p) {
+        return Streamline { points };
+    }
+    let h = config.step.max(1e-3);
+    for _ in 0..config.max_steps {
+        let k1 = sample(p);
+        let speed = (k1[0] * k1[0] + k1[1] * k1[1] + k1[2] * k1[2]).sqrt();
+        if speed < config.min_speed {
+            break;
+        }
+        let advance = |base: [f32; 3], k: [f32; 3], scale: f32| {
+            [
+                base[0] + scale * k[0],
+                base[1] + scale * k[1],
+                base[2] + scale * k[2],
+            ]
+        };
+        let k2 = sample(advance(p, k1, h / 2.0));
+        let k3 = sample(advance(p, k2, h / 2.0));
+        let k4 = sample(advance(p, k3, h));
+        let next = [
+            p[0] + h / 6.0 * (k1[0] + 2.0 * k2[0] + 2.0 * k3[0] + k4[0]),
+            p[1] + h / 6.0 * (k1[1] + 2.0 * k2[1] + 2.0 * k3[1] + k4[1]),
+            p[2] + h / 6.0 * (k1[2] + 2.0 * k2[2] + 2.0 * k3[2] + k4[2]),
+        ];
+        if !inside(next) {
+            break;
+        }
+        points.push(next);
+        p = next;
+    }
+    Streamline { points }
+}
+
+/// Trace streamlines from all `seeds`.
+pub fn trace_streamlines(
+    field: &VectorField,
+    seeds: &[[f32; 3]],
+    config: &StreamlineConfig,
+) -> StreamlineSet {
+    StreamlineSet {
+        lines: seeds
+            .iter()
+            .map(|&s| trace_streamline(field, s, config))
+            .collect(),
+    }
+}
+
+/// Generate a regular grid of `n × n` seed points on the plane `z = z_plane`.
+pub fn grid_seeds(field: &VectorField, n: usize, z_plane: f32) -> Vec<[f32; 3]> {
+    let d = field.dims;
+    let mut seeds = Vec::with_capacity(n * n);
+    if n == 0 {
+        return seeds;
+    }
+    for j in 0..n {
+        for i in 0..n {
+            let fx = (i as f32 + 0.5) / n as f32 * (d.nx.saturating_sub(1)) as f32;
+            let fy = (j as f32 + 0.5) / n as f32 * (d.ny.saturating_sub(1)) as f32;
+            seeds.push([fx, fy, z_plane]);
+        }
+    }
+    seeds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ricsa_vizdata::field::Dims;
+
+    /// A uniform flow along +x.
+    fn uniform_flow(n: usize) -> VectorField {
+        VectorField::from_fn(Dims::cube(n), |_, _, _| [1.0, 0.0, 0.0])
+    }
+
+    /// Rigid rotation about the volume center in the x-y plane.
+    fn rotational_flow(n: usize) -> VectorField {
+        let c = (n as f32 - 1.0) / 2.0;
+        VectorField::from_fn(Dims::cube(n), move |x, y, _| {
+            [-(y as f32 - c), x as f32 - c, 0.0]
+        })
+    }
+
+    #[test]
+    fn uniform_flow_gives_straight_lines() {
+        let field = uniform_flow(16);
+        let line = trace_streamline(&field, [1.0, 8.0, 8.0], &StreamlineConfig::default());
+        assert!(line.steps() > 10);
+        // y and z never change.
+        assert!(line.points.iter().all(|p| (p[1] - 8.0).abs() < 1e-4));
+        assert!(line.points.iter().all(|p| (p[2] - 8.0).abs() < 1e-4));
+        // Terminates at the +x boundary.
+        let last = line.points.last().unwrap();
+        assert!(last[0] <= 15.0);
+        assert!(last[0] > 13.0);
+        assert!((line.length() - (last[0] - 1.0) as f64).abs() < 0.1);
+    }
+
+    #[test]
+    fn rotational_flow_stays_at_constant_radius() {
+        let n = 33;
+        let field = rotational_flow(n);
+        let c = (n as f32 - 1.0) / 2.0;
+        let seed = [c + 6.0, c, 8.0];
+        let config = StreamlineConfig {
+            step: 0.05,
+            max_steps: 2000,
+            min_speed: 1e-6,
+        };
+        let line = trace_streamline(&field, seed, &config);
+        assert!(line.steps() > 500);
+        for p in &line.points {
+            let r = ((p[0] - c).powi(2) + (p[1] - c).powi(2)).sqrt();
+            assert!((r - 6.0).abs() < 0.05, "radius drifted to {r}");
+        }
+    }
+
+    #[test]
+    fn zero_field_terminates_immediately() {
+        let field = VectorField::zeros(Dims::cube(8));
+        let line = trace_streamline(&field, [4.0, 4.0, 4.0], &StreamlineConfig::default());
+        assert_eq!(line.steps(), 0);
+        assert_eq!(line.length(), 0.0);
+    }
+
+    #[test]
+    fn seed_outside_domain_yields_single_point() {
+        let field = uniform_flow(8);
+        let line = trace_streamline(&field, [-5.0, 0.0, 0.0], &StreamlineConfig::default());
+        assert_eq!(line.points.len(), 1);
+    }
+
+    #[test]
+    fn max_steps_bounds_the_trace() {
+        let field = rotational_flow(33);
+        let config = StreamlineConfig {
+            step: 0.1,
+            max_steps: 50,
+            min_speed: 1e-6,
+        };
+        let line = trace_streamline(&field, [22.0, 16.0, 8.0], &config);
+        assert!(line.steps() <= 50);
+    }
+
+    #[test]
+    fn seed_grid_and_set_accounting() {
+        let field = uniform_flow(16);
+        let seeds = grid_seeds(&field, 4, 8.0);
+        assert_eq!(seeds.len(), 16);
+        assert!(seeds.iter().all(|s| s[2] == 8.0));
+        let set = trace_streamlines(&field, &seeds, &StreamlineConfig::default());
+        assert_eq!(set.lines.len(), 16);
+        assert!(set.total_steps() > 0);
+        assert_eq!(
+            set.nbytes(),
+            set.lines.iter().map(|l| l.points.len() * 12).sum::<usize>()
+        );
+        assert!(grid_seeds(&field, 0, 0.0).is_empty());
+    }
+}

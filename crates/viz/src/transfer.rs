@@ -1,0 +1,211 @@
+//! Transfer functions for volume ray casting.
+//!
+//! The paper's ray-casting cost model notes that "the performance estimation
+//! for ray casting is much harder ... because of unlimited possibilities of
+//! underlying transfer functions".  A transfer function maps a scalar sample
+//! to an RGBA contribution; here it is a piecewise-linear ramp over control
+//! points, which covers the standard cases (isosurface-like shells, smoky
+//! interiors, banded tissue maps).
+
+use serde::{Deserialize, Serialize};
+
+/// One control point of a piecewise-linear transfer function.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControlPoint {
+    /// Scalar value at which this point applies.
+    pub value: f32,
+    /// RGB colour, each in `[0, 1]`.
+    pub color: [f32; 3],
+    /// Opacity in `[0, 1]` (per unit sample distance).
+    pub opacity: f32,
+}
+
+/// A piecewise-linear transfer function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferFunction {
+    points: Vec<ControlPoint>,
+}
+
+impl TransferFunction {
+    /// Build from control points; the points are sorted by value.
+    ///
+    /// # Panics
+    /// Panics if no control points are supplied.
+    pub fn new(mut points: Vec<ControlPoint>) -> Self {
+        assert!(!points.is_empty(), "transfer function needs control points");
+        points.sort_by(|a, b| a.value.partial_cmp(&b.value).unwrap_or(std::cmp::Ordering::Equal));
+        TransferFunction { points }
+    }
+
+    /// A grayscale ramp: transparent black at `lo`, opaque white at `hi`.
+    pub fn grayscale_ramp(lo: f32, hi: f32) -> Self {
+        TransferFunction::new(vec![
+            ControlPoint {
+                value: lo,
+                color: [0.0; 3],
+                opacity: 0.0,
+            },
+            ControlPoint {
+                value: hi,
+                color: [1.0; 3],
+                opacity: 0.9,
+            },
+        ])
+    }
+
+    /// A "hot metal" style ramp useful for jet/blast volumes.
+    pub fn hot(lo: f32, hi: f32) -> Self {
+        let mid = lo + 0.5 * (hi - lo);
+        TransferFunction::new(vec![
+            ControlPoint {
+                value: lo,
+                color: [0.0, 0.0, 0.1],
+                opacity: 0.0,
+            },
+            ControlPoint {
+                value: mid,
+                color: [0.9, 0.3, 0.0],
+                opacity: 0.25,
+            },
+            ControlPoint {
+                value: hi,
+                color: [1.0, 0.9, 0.3],
+                opacity: 0.9,
+            },
+        ])
+    }
+
+    /// A narrow opaque band around `value` (isosurface-like shell).
+    pub fn band(value: f32, width: f32, color: [f32; 3]) -> Self {
+        let w = width.max(1e-6);
+        TransferFunction::new(vec![
+            ControlPoint {
+                value: value - w,
+                color,
+                opacity: 0.0,
+            },
+            ControlPoint {
+                value,
+                color,
+                opacity: 0.95,
+            },
+            ControlPoint {
+                value: value + w,
+                color,
+                opacity: 0.0,
+            },
+        ])
+    }
+
+    /// Evaluate the transfer function at a scalar value, returning
+    /// `(rgb, opacity)`.
+    pub fn evaluate(&self, v: f32) -> ([f32; 3], f32) {
+        let pts = &self.points;
+        if v <= pts[0].value {
+            return (pts[0].color, pts[0].opacity);
+        }
+        if v >= pts[pts.len() - 1].value {
+            let last = &pts[pts.len() - 1];
+            return (last.color, last.opacity);
+        }
+        for w in pts.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            if v >= a.value && v <= b.value {
+                let span = (b.value - a.value).max(1e-12);
+                let t = (v - a.value) / span;
+                let lerp = |x: f32, y: f32| x + t * (y - x);
+                let color = [
+                    lerp(a.color[0], b.color[0]),
+                    lerp(a.color[1], b.color[1]),
+                    lerp(a.color[2], b.color[2]),
+                ];
+                return (color, lerp(a.opacity, b.opacity));
+            }
+        }
+        let last = &pts[pts.len() - 1];
+        (last.color, last.opacity)
+    }
+
+    /// The scalar range over which the function has nonzero opacity.
+    pub fn opaque_range(&self) -> Option<(f32, f32)> {
+        let mut lo = None;
+        let mut hi = None;
+        for p in &self.points {
+            if p.opacity > 0.0 {
+                lo = Some(lo.map_or(p.value, |v: f32| v.min(p.value)));
+                hi = Some(hi.map_or(p.value, |v: f32| v.max(p.value)));
+            }
+        }
+        match (lo, hi) {
+            (Some(a), Some(b)) => Some((a, b)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_interpolates_linearly() {
+        let tf = TransferFunction::grayscale_ramp(0.0, 1.0);
+        let (c, o) = tf.evaluate(0.5);
+        assert!((c[0] - 0.5).abs() < 1e-6);
+        assert!((o - 0.45).abs() < 1e-6);
+        // Clamping outside the range.
+        assert_eq!(tf.evaluate(-1.0).1, 0.0);
+        assert!((tf.evaluate(2.0).1 - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn band_is_transparent_away_from_the_band() {
+        let tf = TransferFunction::band(0.5, 0.1, [1.0, 0.0, 0.0]);
+        assert_eq!(tf.evaluate(0.0).1, 0.0);
+        assert_eq!(tf.evaluate(1.0).1, 0.0);
+        assert!(tf.evaluate(0.5).1 > 0.9);
+        assert!(tf.evaluate(0.45).1 > 0.0);
+        let (lo, hi) = tf.opaque_range().unwrap();
+        assert!((lo - 0.5).abs() < 1e-6 && (hi - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn points_are_sorted_on_construction() {
+        let tf = TransferFunction::new(vec![
+            ControlPoint {
+                value: 1.0,
+                color: [1.0; 3],
+                opacity: 1.0,
+            },
+            ControlPoint {
+                value: 0.0,
+                color: [0.0; 3],
+                opacity: 0.0,
+            },
+        ]);
+        assert!(tf.evaluate(0.25).1 < tf.evaluate(0.75).1);
+    }
+
+    #[test]
+    fn fully_transparent_function_has_no_opaque_range() {
+        let tf = TransferFunction::new(vec![ControlPoint {
+            value: 0.0,
+            color: [0.0; 3],
+            opacity: 0.0,
+        }]);
+        assert!(tf.opaque_range().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs control points")]
+    fn empty_control_points_panic() {
+        let _ = TransferFunction::new(vec![]);
+    }
+
+    #[test]
+    fn hot_ramp_is_monotone_in_opacity() {
+        let tf = TransferFunction::hot(0.0, 1.0);
+        let samples: Vec<f32> = (0..=10).map(|i| tf.evaluate(i as f32 / 10.0).1).collect();
+        assert!(samples.windows(2).all(|w| w[1] >= w[0] - 1e-6));
+    }
+}

@@ -1,0 +1,136 @@
+//! Down-sampling of scalar fields.
+//!
+//! The paper down-samples the Visible Woman dataset "from its original size
+//! by 8 times" to make it fit the available resources.  The same operation is
+//! provided here, both for reproducing that preprocessing step and for
+//! building multi-resolution test data for the cost-model calibration.
+
+use crate::field::{Dims, ScalarField};
+
+/// Down-sample a field by an integer factor along every axis, averaging the
+/// `factor³` samples that map to each output voxel (block mean filter).
+///
+/// The output dimensions are `ceil(n / factor)` along each axis, so every
+/// input sample contributes to exactly one output sample.
+///
+/// # Panics
+/// Panics if `factor` is zero.
+pub fn downsample(field: &ScalarField, factor: usize) -> ScalarField {
+    assert!(factor > 0, "downsampling factor must be positive");
+    if factor == 1 {
+        return field.clone();
+    }
+    let d = field.dims;
+    let out_dims = Dims::new(
+        d.nx.div_ceil(factor).max(usize::from(d.nx > 0)),
+        d.ny.div_ceil(factor).max(usize::from(d.ny > 0)),
+        d.nz.div_ceil(factor).max(usize::from(d.nz > 0)),
+    );
+    let mut out = ScalarField::zeros(out_dims);
+    out.spacing = [
+        field.spacing[0] * factor as f32,
+        field.spacing[1] * factor as f32,
+        field.spacing[2] * factor as f32,
+    ];
+    out.origin = field.origin;
+    for oz in 0..out_dims.nz {
+        for oy in 0..out_dims.ny {
+            for ox in 0..out_dims.nx {
+                let mut sum = 0.0f64;
+                let mut count = 0usize;
+                for z in (oz * factor)..((oz + 1) * factor).min(d.nz) {
+                    for y in (oy * factor)..((oy + 1) * factor).min(d.ny) {
+                        for x in (ox * factor)..((ox + 1) * factor).min(d.nx) {
+                            sum += field.get(x, y, z) as f64;
+                            count += 1;
+                        }
+                    }
+                }
+                if count > 0 {
+                    out.set(ox, oy, oz, (sum / count as f64) as f32);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The factor needed to shrink a field of `dims` below `max_bytes`, growing
+/// in integer steps (1, 2, 3, ...).  Returns 1 if the field already fits.
+pub fn factor_to_fit(dims: Dims, max_bytes: usize) -> usize {
+    if max_bytes == 0 {
+        return 1;
+    }
+    let mut factor = 1usize;
+    loop {
+        let nx = dims.nx.div_ceil(factor);
+        let ny = dims.ny.div_ceil(factor);
+        let nz = dims.nz.div_ceil(factor);
+        if nx * ny * nz * 4 <= max_bytes || factor > dims.nx.max(dims.ny).max(dims.nz).max(1) {
+            return factor;
+        }
+        factor += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_one_is_identity() {
+        let f = ScalarField::from_fn(Dims::cube(5), |x, y, z| (x * y * z) as f32);
+        assert_eq!(downsample(&f, 1), f);
+    }
+
+    #[test]
+    fn factor_two_halves_dimensions_and_preserves_mean() {
+        let f = ScalarField::from_fn(Dims::cube(8), |x, _, _| x as f32);
+        let d = downsample(&f, 2);
+        assert_eq!(d.dims, Dims::cube(4));
+        // Block means of a linear ramp: first output = mean(0,1) = 0.5.
+        assert!((d.get(0, 0, 0) - 0.5).abs() < 1e-6);
+        assert!((d.get(3, 0, 0) - 6.5).abs() < 1e-6);
+        // Global mean is preserved by block averaging on equal-size blocks.
+        let mean_in: f32 = f.data.iter().sum::<f32>() / f.data.len() as f32;
+        let mean_out: f32 = d.data.iter().sum::<f32>() / d.data.len() as f32;
+        assert!((mean_in - mean_out).abs() < 1e-5);
+        // Spacing doubles.
+        assert_eq!(d.spacing, [2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn non_divisible_dimensions_round_up() {
+        let f = ScalarField::from_fn(Dims::new(5, 5, 5), |x, y, z| (x + y + z) as f32);
+        let d = downsample(&f, 2);
+        assert_eq!(d.dims, Dims::new(3, 3, 3));
+        assert!(d.data.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn eight_times_reduction_matches_paper_preprocessing() {
+        // "Downsampled from its original size by 8 times": factor 2 per axis
+        // reduces the byte size by 8x.
+        let f = ScalarField::from_fn(Dims::cube(16), |x, y, z| (x ^ y ^ z) as f32);
+        let d = downsample(&f, 2);
+        assert_eq!(d.nbytes() * 8, f.nbytes());
+    }
+
+    #[test]
+    fn factor_to_fit_grows_until_it_fits() {
+        let dims = Dims::cube(100); // 4 MB
+        assert_eq!(factor_to_fit(dims, 8_000_000), 1);
+        let factor = factor_to_fit(dims, 500_000);
+        let n = 100usize.div_ceil(factor);
+        assert!(n * n * n * 4 <= 500_000);
+        assert!(factor >= 2);
+        assert_eq!(factor_to_fit(dims, 0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be positive")]
+    fn zero_factor_panics() {
+        let f = ScalarField::zeros(Dims::cube(2));
+        let _ = downsample(&f, 0);
+    }
+}

@@ -1,0 +1,340 @@
+//! A minimal HTTP/1.1 server.
+//!
+//! Just enough HTTP to serve the Ajax page and its `XMLHttpRequest` API:
+//! GET/POST parsing with headers and body, query-string parameters, and
+//! fixed-length responses.  Connections are handled one request at a time on
+//! a small thread pool (`Connection: close`), which is plenty for a steering
+//! UI with a handful of concurrent viewers.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path without the query string.
+    pub path: String,
+    /// Decoded query-string parameters.
+    pub query: HashMap<String, String>,
+    /// Header fields, lower-cased names.
+    pub headers: HashMap<String, String>,
+    /// Request body.
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// A query parameter by name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.get(name).map(String::as_str)
+    }
+
+    /// Parse a request from a reader.
+    pub fn parse(stream: &mut dyn BufRead) -> Option<HttpRequest> {
+        let mut request_line = String::new();
+        stream.read_line(&mut request_line).ok()?;
+        let mut parts = request_line.split_whitespace();
+        let method = parts.next()?.to_string();
+        let target = parts.next()?.to_string();
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p.to_string(), parse_query(q)),
+            None => (target, HashMap::new()),
+        };
+        let mut headers = HashMap::new();
+        loop {
+            let mut line = String::new();
+            stream.read_line(&mut line).ok()?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+            }
+        }
+        let content_length: usize = headers
+            .get("content-length")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let mut body = vec![0u8; content_length.min(16 << 20)];
+        if !body.is_empty() {
+            stream.read_exact(&mut body).ok()?;
+        }
+        Some(HttpRequest {
+            method,
+            path,
+            query,
+            headers,
+            body,
+        })
+    }
+}
+
+/// Decode an `application/x-www-form-urlencoded` style query string.
+pub fn parse_query(query: &str) -> HashMap<String, String> {
+    query
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (url_decode(k), url_decode(v)),
+            None => (url_decode(kv), String::new()),
+        })
+        .collect()
+}
+
+fn url_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).unwrap_or("");
+                if let Ok(v) = u8::from_str_radix(hex, 16) {
+                    out.push(v);
+                    i += 3;
+                    continue;
+                }
+                out.push(b'%');
+                i += 1;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Content type.
+    pub content_type: String,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// A 200 response with the given content type and body.
+    pub fn ok(content_type: &str, body: impl Into<Vec<u8>>) -> Self {
+        HttpResponse {
+            status: 200,
+            content_type: content_type.to_string(),
+            body: body.into(),
+        }
+    }
+
+    /// A JSON response.
+    pub fn json(value: &serde_json::Value) -> Self {
+        HttpResponse::ok("application/json", value.to_string().into_bytes())
+    }
+
+    /// A 404 response.
+    pub fn not_found() -> Self {
+        HttpResponse {
+            status: 404,
+            content_type: "text/plain".into(),
+            body: b"not found".to_vec(),
+        }
+    }
+
+    /// A 400 response with a reason.
+    pub fn bad_request(reason: &str) -> Self {
+        HttpResponse {
+            status: 400,
+            content_type: "text/plain".into(),
+            body: reason.as_bytes().to_vec(),
+        }
+    }
+
+    /// Serialize to wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let reason = match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            _ => "Unknown",
+        };
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nAccess-Control-Allow-Origin: *\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason,
+            self.content_type,
+            self.body.len()
+        )
+        .into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// A running HTTP server dispatching to a handler function.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind to `addr` (e.g. `"127.0.0.1:0"`) and serve requests with
+    /// `handler` on a background thread.
+    pub fn start<F>(addr: &str, handler: F) -> std::io::Result<HttpServer>
+    where
+        F: Fn(HttpRequest) -> HttpResponse + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let handler = Arc::new(handler);
+        let handle = std::thread::spawn(move || {
+            while !stop_flag.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let handler = handler.clone();
+                        std::thread::spawn(move || handle_connection(stream, handler.as_ref()));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(HttpServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the server and join its thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn handle_connection<F>(stream: TcpStream, handler: &F)
+where
+    F: Fn(HttpRequest) -> HttpResponse,
+{
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let response = match HttpRequest::parse(&mut reader) {
+        Some(request) => handler(request),
+        None => HttpResponse::bad_request("malformed request"),
+    };
+    let mut stream = stream;
+    let _ = stream.write_all(&response.encode());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_get_with_query_and_headers() {
+        let raw = b"GET /api/poll?since=3&client=a%20b HTTP/1.1\r\nHost: x\r\nX-Test: 1\r\n\r\n";
+        let mut cursor = Cursor::new(raw.to_vec());
+        let req = HttpRequest::parse(&mut cursor).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/api/poll");
+        assert_eq!(req.query_param("since"), Some("3"));
+        assert_eq!(req.query_param("client"), Some("a b"));
+        assert_eq!(req.headers.get("x-test").map(String::as_str), Some("1"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_body_with_content_length() {
+        let raw = b"POST /api/steer HTTP/1.1\r\nContent-Length: 11\r\n\r\n{\"cfl\":0.2}";
+        let mut cursor = Cursor::new(raw.to_vec());
+        let req = HttpRequest::parse(&mut cursor).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"{\"cfl\":0.2}");
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        let mut cursor = Cursor::new(b"".to_vec());
+        assert!(HttpRequest::parse(&mut cursor).is_none());
+    }
+
+    #[test]
+    fn query_decoding_handles_plus_and_percent() {
+        let q = parse_query("a=1+2&b=%41%20c&flag");
+        assert_eq!(q.get("a").unwrap(), "1 2");
+        assert_eq!(q.get("b").unwrap(), "A c");
+        assert_eq!(q.get("flag").unwrap(), "");
+        assert!(parse_query("").is_empty());
+    }
+
+    #[test]
+    fn response_encoding_includes_length_and_body() {
+        let resp = HttpResponse::ok("text/plain", "hello");
+        let wire = String::from_utf8(resp.encode()).unwrap();
+        assert!(wire.starts_with("HTTP/1.1 200 OK"));
+        assert!(wire.contains("Content-Length: 5"));
+        assert!(wire.ends_with("hello"));
+        assert_eq!(HttpResponse::not_found().status, 404);
+        assert_eq!(HttpResponse::bad_request("x").status, 400);
+        let json = HttpResponse::json(&serde_json::json!({"ok": true}));
+        assert_eq!(json.content_type, "application/json");
+    }
+
+    #[test]
+    fn server_round_trip_over_a_real_socket() {
+        use std::io::Read;
+        let server = HttpServer::start("127.0.0.1:0", |req| {
+            HttpResponse::ok("text/plain", format!("you asked for {}", req.path))
+        })
+        .unwrap();
+        let addr = server.addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /hello HTTP/1.1\r\nHost: localhost\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.contains("200 OK"));
+        assert!(response.contains("you asked for /hello"));
+        server.shutdown();
+    }
+}

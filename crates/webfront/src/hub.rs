@@ -1,0 +1,228 @@
+//! The session hub: frames out, steering commands in.
+//!
+//! The hub is the piece that makes the front end "Ajax": the visualization
+//! side publishes numbered frames (rendered images plus monitored state) and
+//! any number of browser clients long-poll for the next frame they have not
+//! seen, so only the image component of the page updates when new data
+//! arrives.  Steering commands posted by clients are queued for the
+//! simulation side to drain between cycles.
+
+use parking_lot::{Condvar, Mutex};
+use ricsa_hydro::steering::SteerableParams;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One published frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Monotone frame number.
+    pub sequence: u64,
+    /// Simulation cycle the frame was produced from.
+    pub cycle: u64,
+    /// Physical simulation time.
+    pub time: f64,
+    /// The rendered image encoded with `Image::encode_raw` (RICSAIMG).
+    pub image: Vec<u8>,
+    /// Monitored scalar statistics shown next to the image
+    /// (name → value), e.g. max pressure or total mass.
+    pub monitors: Vec<(String, f64)>,
+}
+
+struct HubState {
+    frames: VecDeque<Frame>,
+    latest_sequence: u64,
+    capacity: usize,
+}
+
+/// The frame hub shared between the visualization side and HTTP handlers.
+#[derive(Clone)]
+pub struct SessionHub {
+    state: Arc<(Mutex<HubState>, Condvar)>,
+}
+
+impl Default for SessionHub {
+    fn default() -> Self {
+        SessionHub::new(32)
+    }
+}
+
+impl SessionHub {
+    /// A hub retaining up to `capacity` recent frames.
+    pub fn new(capacity: usize) -> Self {
+        SessionHub {
+            state: Arc::new((
+                Mutex::new(HubState {
+                    frames: VecDeque::new(),
+                    latest_sequence: 0,
+                    capacity: capacity.max(1),
+                }),
+                Condvar::new(),
+            )),
+        }
+    }
+
+    /// Publish a frame; it is assigned the next sequence number, which is
+    /// returned.  Waiting pollers are woken.
+    pub fn publish(&self, mut frame: Frame) -> u64 {
+        let (lock, cvar) = &*self.state;
+        let mut state = lock.lock();
+        state.latest_sequence += 1;
+        frame.sequence = state.latest_sequence;
+        let seq = frame.sequence;
+        state.frames.push_back(frame);
+        while state.frames.len() > state.capacity {
+            state.frames.pop_front();
+        }
+        cvar.notify_all();
+        seq
+    }
+
+    /// The sequence number of the most recent frame (0 if none yet).
+    pub fn latest_sequence(&self) -> u64 {
+        self.state.0.lock().latest_sequence
+    }
+
+    /// The most recent frame, if any.
+    pub fn latest_frame(&self) -> Option<Frame> {
+        self.state.0.lock().frames.back().cloned()
+    }
+
+    /// Long-poll: return the oldest retained frame newer than `since`,
+    /// waiting up to `timeout` for one to be published.  `None` on timeout —
+    /// the client simply re-polls, exactly like an `XMLHttpRequest` loop.
+    pub fn poll_after(&self, since: u64, timeout: Duration) -> Option<Frame> {
+        let (lock, cvar) = &*self.state;
+        let mut state = lock.lock();
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if state.latest_sequence > since {
+                let frame = state
+                    .frames
+                    .iter()
+                    .find(|f| f.sequence > since)
+                    .cloned();
+                if frame.is_some() {
+                    return frame;
+                }
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let wait = deadline - now;
+            if cvar.wait_for(&mut state, wait).timed_out() && state.latest_sequence <= since {
+                return None;
+            }
+        }
+    }
+}
+
+/// The queue of steering commands posted by clients.
+#[derive(Clone, Default)]
+pub struct SteeringInbox {
+    queue: Arc<Mutex<VecDeque<SteerableParams>>>,
+}
+
+impl SteeringInbox {
+    /// An empty inbox.
+    pub fn new() -> Self {
+        SteeringInbox::default()
+    }
+
+    /// Post a steering request (from an HTTP handler).
+    pub fn post(&self, params: SteerableParams) {
+        self.queue.lock().push_back(params);
+    }
+
+    /// Drain all pending requests (from the simulation loop); the last one
+    /// wins when several arrived between cycles.
+    pub fn drain_latest(&self) -> Option<SteerableParams> {
+        let mut queue = self.queue.lock();
+        let last = queue.iter().last().copied();
+        queue.clear();
+        last
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Whether the inbox is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(cycle: u64) -> Frame {
+        Frame {
+            sequence: 0,
+            cycle,
+            time: cycle as f64 * 0.1,
+            image: vec![1, 2, 3],
+            monitors: vec![("max_pressure".into(), 1.5)],
+        }
+    }
+
+    #[test]
+    fn publish_assigns_increasing_sequence_numbers() {
+        let hub = SessionHub::new(4);
+        assert_eq!(hub.latest_sequence(), 0);
+        assert!(hub.latest_frame().is_none());
+        assert_eq!(hub.publish(frame(1)), 1);
+        assert_eq!(hub.publish(frame(2)), 2);
+        assert_eq!(hub.latest_sequence(), 2);
+        assert_eq!(hub.latest_frame().unwrap().cycle, 2);
+    }
+
+    #[test]
+    fn poll_returns_only_newer_frames_and_respects_capacity() {
+        let hub = SessionHub::new(2);
+        for c in 1..=5 {
+            hub.publish(frame(c));
+        }
+        // Capacity 2: only frames 4 and 5 are retained.
+        let f = hub.poll_after(0, Duration::from_millis(10)).unwrap();
+        assert_eq!(f.cycle, 4);
+        let f = hub.poll_after(f.sequence, Duration::from_millis(10)).unwrap();
+        assert_eq!(f.cycle, 5);
+        // Nothing newer than 5: timeout.
+        assert!(hub.poll_after(f.sequence, Duration::from_millis(20)).is_none());
+    }
+
+    #[test]
+    fn long_poll_wakes_when_a_frame_is_published() {
+        let hub = SessionHub::new(4);
+        let hub2 = hub.clone();
+        let waiter = std::thread::spawn(move || hub2.poll_after(0, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(30));
+        hub.publish(frame(9));
+        let got = waiter.join().unwrap().expect("poller should wake with the frame");
+        assert_eq!(got.cycle, 9);
+    }
+
+    #[test]
+    fn steering_inbox_keeps_the_latest_request() {
+        let inbox = SteeringInbox::new();
+        assert!(inbox.is_empty());
+        assert!(inbox.drain_latest().is_none());
+        inbox.post(SteerableParams {
+            cfl: 0.1,
+            ..SteerableParams::default()
+        });
+        inbox.post(SteerableParams {
+            cfl: 0.3,
+            ..SteerableParams::default()
+        });
+        assert_eq!(inbox.len(), 2);
+        let latest = inbox.drain_latest().unwrap();
+        assert!((latest.cfl - 0.3).abs() < 1e-12);
+        assert!(inbox.is_empty());
+    }
+}

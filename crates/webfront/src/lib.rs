@@ -1,0 +1,29 @@
+//! The Ajax web front end.
+//!
+//! The paper's user interface is a Google-Web-Toolkit Ajax page: the browser
+//! polls the front end with `XMLHttpRequest`, only the image component is
+//! updated when a new frame arrives ("partial screen updates"), and steering
+//! commands are posted back asynchronously.  This crate reproduces that
+//! interaction pattern without external web frameworks:
+//!
+//! * [`http`] — a minimal HTTP/1.1 server over `std::net::TcpListener`
+//!   (threaded, one connection per request),
+//! * [`hub`] — the session hub: frames published by the visualization side,
+//!   long-polled by any number of browser clients, plus a steering inbox,
+//! * [`server`] — wiring the hub to HTTP routes (`/api/state`, `/api/frame`,
+//!   `/api/poll`, `/api/steer`) and serving the embedded single-page client,
+//! * [`page`] — the embedded HTML/JavaScript page (plain `XMLHttpRequest`
+//!   long polling, no external assets).
+//!
+//! The front end is exercised end-to-end by `examples/web_steering.rs`,
+//! which steers a live `ricsa-hydro` simulation from the browser (or from
+//! `curl`).
+
+pub mod http;
+pub mod hub;
+pub mod page;
+pub mod server;
+
+pub use http::{HttpRequest, HttpResponse, HttpServer};
+pub use hub::{Frame, SessionHub, SteeringInbox};
+pub use server::FrontEndServer;

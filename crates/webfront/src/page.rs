@@ -1,0 +1,111 @@
+//! The embedded single-page Ajax client.
+//!
+//! A plain-JavaScript stand-in for the paper's GWT page: it long-polls
+//! `/api/poll` with `XMLHttpRequest`, redraws only the image canvas and the
+//! monitored values when a new frame arrives (partial screen update), and
+//! posts steering parameters to `/api/steer` without reloading the page.
+
+/// The HTML/JavaScript page served at `/`.
+pub const INDEX_HTML: &str = r#"<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>RICSA — computational monitoring and steering</title>
+<style>
+ body { font-family: sans-serif; margin: 1.5em; background: #181c20; color: #e8e8e8; }
+ h1 { font-size: 1.2em; }
+ #layout { display: flex; gap: 2em; }
+ canvas { border: 1px solid #555; image-rendering: pixelated; background: #000; }
+ .panel { min-width: 20em; }
+ label { display: block; margin-top: 0.6em; }
+ input { width: 6em; }
+ #status { margin-top: 1em; color: #9fd49f; }
+ table { border-collapse: collapse; margin-top: 0.8em; }
+ td { padding: 0.15em 0.8em 0.15em 0; }
+</style>
+</head>
+<body>
+<h1>RICSA — remote monitoring &amp; steering (Ajax front end)</h1>
+<div id="layout">
+  <div>
+    <canvas id="view" width="256" height="256"></canvas>
+    <div id="status">waiting for frames…</div>
+  </div>
+  <div class="panel">
+    <h2>Monitored values</h2>
+    <table id="monitors"></table>
+    <h2>Steering</h2>
+    <label>CFL <input id="cfl" type="number" step="0.05" value="0.4"></label>
+    <label>Gamma <input id="gamma" type="number" step="0.01" value="1.4"></label>
+    <label>Drive strength <input id="drive" type="number" step="0.1" value="1.0"></label>
+    <label>Inflow velocity <input id="inflow" type="number" step="0.1" value="2.0"></label>
+    <button id="steer">Apply steering</button>
+  </div>
+</div>
+<script>
+var lastSeq = 0;
+function drawFrame(frame) {
+  var canvas = document.getElementById('view');
+  var ctx = canvas.getContext('2d');
+  var bytes = atob(frame.image_base64);
+  // RICSAIMG header: 8 magic + 4 width + 4 height, then RGBA.
+  var w = (bytes.charCodeAt(8)) | (bytes.charCodeAt(9) << 8) | (bytes.charCodeAt(10) << 16);
+  var h = (bytes.charCodeAt(12)) | (bytes.charCodeAt(13) << 8) | (bytes.charCodeAt(14) << 16);
+  canvas.width = w; canvas.height = h;
+  var img = ctx.createImageData(w, h);
+  for (var i = 0; i < w * h * 4; i++) { img.data[i] = bytes.charCodeAt(16 + i); }
+  ctx.putImageData(img, 0, 0);
+  var table = document.getElementById('monitors');
+  table.innerHTML = '';
+  frame.monitors.forEach(function(m) {
+    var row = table.insertRow();
+    row.insertCell().textContent = m[0];
+    row.insertCell().textContent = Number(m[1]).toPrecision(5);
+  });
+  document.getElementById('status').textContent =
+    'cycle ' + frame.cycle + '  t=' + Number(frame.time).toFixed(4) + '  frame #' + frame.sequence;
+}
+function poll() {
+  var xhr = new XMLHttpRequest();
+  xhr.open('GET', '/api/poll?since=' + lastSeq + '&timeout_ms=15000');
+  xhr.onload = function() {
+    if (xhr.status === 200 && xhr.responseText) {
+      var frame = JSON.parse(xhr.responseText);
+      if (frame && frame.sequence) { lastSeq = frame.sequence; drawFrame(frame); }
+    }
+    poll();
+  };
+  xhr.onerror = function() { setTimeout(poll, 1000); };
+  xhr.send();
+}
+document.getElementById('steer').onclick = function() {
+  var body = JSON.stringify({
+    cfl: parseFloat(document.getElementById('cfl').value),
+    gamma: parseFloat(document.getElementById('gamma').value),
+    drive_strength: parseFloat(document.getElementById('drive').value),
+    inflow_velocity: parseFloat(document.getElementById('inflow').value),
+    end_cycle: 1000000
+  });
+  var xhr = new XMLHttpRequest();
+  xhr.open('POST', '/api/steer');
+  xhr.setRequestHeader('Content-Type', 'application/json');
+  xhr.send(body);
+};
+poll();
+</script>
+</body>
+</html>
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_contains_the_ajax_machinery() {
+        assert!(INDEX_HTML.contains("XMLHttpRequest"));
+        assert!(INDEX_HTML.contains("/api/poll"));
+        assert!(INDEX_HTML.contains("/api/steer"));
+        assert!(INDEX_HTML.contains("RICSAIMG"));
+    }
+}

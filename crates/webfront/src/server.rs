@@ -1,0 +1,272 @@
+//! The front-end server: HTTP routes wired to the session hub.
+//!
+//! Routes (all consumed by the embedded page, `curl`, or any browser):
+//!
+//! * `GET /` — the Ajax page,
+//! * `GET /api/state` — current frame sequence, cycle and monitors as JSON,
+//! * `GET /api/poll?since=N&timeout_ms=T` — long-poll for the next frame
+//!   newer than `N` (the `XMLHttpRequest` object-exchange of the paper),
+//! * `GET /api/frame` — the latest frame immediately (or 404),
+//! * `POST /api/steer` — submit steering parameters as JSON.
+
+use crate::http::{HttpRequest, HttpResponse, HttpServer};
+use crate::hub::{Frame, SessionHub, SteeringInbox};
+use crate::page::INDEX_HTML;
+use ricsa_hydro::steering::SteerableParams;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// Base64 encoding (standard alphabet, with padding) for frame images.
+fn base64_encode(data: &[u8]) -> String {
+    const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [chunk[0], *chunk.get(1).unwrap_or(&0), *chunk.get(2).unwrap_or(&0)];
+        let n = ((b[0] as u32) << 16) | ((b[1] as u32) << 8) | b[2] as u32;
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[n as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+fn frame_to_json(frame: &Frame) -> serde_json::Value {
+    serde_json::json!({
+        "sequence": frame.sequence,
+        "cycle": frame.cycle,
+        "time": frame.time,
+        "monitors": frame.monitors,
+        "image_base64": base64_encode(&frame.image),
+    })
+}
+
+/// The running Ajax front-end server.
+pub struct FrontEndServer {
+    http: HttpServer,
+    hub: SessionHub,
+    inbox: SteeringInbox,
+}
+
+impl FrontEndServer {
+    /// Start the front end on `addr` (e.g. `"127.0.0.1:0"` for an ephemeral
+    /// port).  The returned hub/inbox handles are shared with the
+    /// visualization and simulation sides.
+    pub fn start(addr: &str) -> std::io::Result<FrontEndServer> {
+        let hub = SessionHub::default();
+        let inbox = SteeringInbox::new();
+        let route_hub = hub.clone();
+        let route_inbox = inbox.clone();
+        let http = HttpServer::start(addr, move |req| {
+            route(&route_hub, &route_inbox, req)
+        })?;
+        Ok(FrontEndServer { http, hub, inbox })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.http.addr()
+    }
+
+    /// The frame hub the visualization side publishes into.
+    pub fn hub(&self) -> SessionHub {
+        self.hub.clone()
+    }
+
+    /// The steering inbox the simulation side drains.
+    pub fn inbox(&self) -> SteeringInbox {
+        self.inbox.clone()
+    }
+
+    /// Shut the server down.
+    pub fn shutdown(self) {
+        self.http.shutdown();
+    }
+}
+
+/// Route a request (exposed for tests).
+pub fn route(hub: &SessionHub, inbox: &SteeringInbox, req: HttpRequest) -> HttpResponse {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/") | ("GET", "/index.html") => HttpResponse::ok("text/html", INDEX_HTML),
+        ("GET", "/api/state") => {
+            let latest = hub.latest_frame();
+            HttpResponse::json(&serde_json::json!({
+                "latest_sequence": hub.latest_sequence(),
+                "cycle": latest.as_ref().map(|f| f.cycle),
+                "time": latest.as_ref().map(|f| f.time),
+                "monitors": latest.as_ref().map(|f| f.monitors.clone()).unwrap_or_default(),
+                "pending_steering": inbox.len(),
+            }))
+        }
+        ("GET", "/api/frame") => match hub.latest_frame() {
+            Some(frame) => HttpResponse::json(&frame_to_json(&frame)),
+            None => HttpResponse::not_found(),
+        },
+        ("GET", "/api/poll") => {
+            let since: u64 = req
+                .query_param("since")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+            let timeout_ms: u64 = req
+                .query_param("timeout_ms")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(15_000)
+                .min(60_000);
+            match hub.poll_after(since, Duration::from_millis(timeout_ms)) {
+                Some(frame) => HttpResponse::json(&frame_to_json(&frame)),
+                None => HttpResponse::json(&serde_json::json!({ "sequence": null })),
+            }
+        }
+        ("POST", "/api/steer") => match serde_json::from_slice::<SteerableParams>(&req.body) {
+            Ok(params) => {
+                inbox.post(params.sanitized());
+                HttpResponse::json(&serde_json::json!({ "accepted": true }))
+            }
+            Err(e) => HttpResponse::bad_request(&format!("invalid steering parameters: {e}")),
+        },
+        _ => HttpResponse::not_found(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn get(path: &str, query: &[(&str, &str)]) -> HttpRequest {
+        HttpRequest {
+            method: "GET".into(),
+            path: path.into(),
+            query: query
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            headers: HashMap::new(),
+            body: vec![],
+        }
+    }
+
+    fn sample_frame() -> Frame {
+        Frame {
+            sequence: 0,
+            cycle: 4,
+            time: 0.25,
+            image: {
+                let img = ricsa_viz::image::Image::filled(2, 2, [10, 20, 30, 255]);
+                img.encode_raw()
+            },
+            monitors: vec![("max_pressure".into(), 2.5)],
+        }
+    }
+
+    #[test]
+    fn index_and_unknown_routes() {
+        let hub = SessionHub::default();
+        let inbox = SteeringInbox::new();
+        let index = route(&hub, &inbox, get("/", &[]));
+        assert_eq!(index.status, 200);
+        assert!(String::from_utf8_lossy(&index.body).contains("XMLHttpRequest"));
+        assert_eq!(route(&hub, &inbox, get("/nope", &[])).status, 404);
+    }
+
+    #[test]
+    fn state_and_frame_routes_reflect_published_frames() {
+        let hub = SessionHub::default();
+        let inbox = SteeringInbox::new();
+        assert_eq!(route(&hub, &inbox, get("/api/frame", &[])).status, 404);
+        hub.publish(sample_frame());
+        let state = route(&hub, &inbox, get("/api/state", &[]));
+        let value: serde_json::Value = serde_json::from_slice(&state.body).unwrap();
+        assert_eq!(value["latest_sequence"], 1);
+        assert_eq!(value["cycle"], 4);
+        let frame = route(&hub, &inbox, get("/api/frame", &[]));
+        let value: serde_json::Value = serde_json::from_slice(&frame.body).unwrap();
+        assert_eq!(value["sequence"], 1);
+        let b64 = value["image_base64"].as_str().unwrap();
+        assert!(b64.starts_with("UklDU0FJTUc")); // "RICSAIMG" in base64
+    }
+
+    #[test]
+    fn poll_route_returns_new_frames_and_null_on_timeout() {
+        let hub = SessionHub::default();
+        let inbox = SteeringInbox::new();
+        hub.publish(sample_frame());
+        let poll = route(
+            &hub,
+            &inbox,
+            get("/api/poll", &[("since", "0"), ("timeout_ms", "10")]),
+        );
+        let value: serde_json::Value = serde_json::from_slice(&poll.body).unwrap();
+        assert_eq!(value["sequence"], 1);
+        let empty = route(
+            &hub,
+            &inbox,
+            get("/api/poll", &[("since", "1"), ("timeout_ms", "10")]),
+        );
+        let value: serde_json::Value = serde_json::from_slice(&empty.body).unwrap();
+        assert!(value["sequence"].is_null());
+    }
+
+    #[test]
+    fn steering_route_sanitizes_and_queues_parameters() {
+        let hub = SessionHub::default();
+        let inbox = SteeringInbox::new();
+        let body = serde_json::json!({
+            "gamma": 1.4, "cfl": 7.0, "drive_strength": 1.0,
+            "inflow_velocity": 2.0, "end_cycle": 100
+        });
+        let req = HttpRequest {
+            method: "POST".into(),
+            path: "/api/steer".into(),
+            query: HashMap::new(),
+            headers: HashMap::new(),
+            body: body.to_string().into_bytes(),
+        };
+        let resp = route(&hub, &inbox, req);
+        assert_eq!(resp.status, 200);
+        let queued = inbox.drain_latest().unwrap();
+        assert!(queued.cfl <= 0.9, "cfl must be sanitized, got {}", queued.cfl);
+        // Malformed body.
+        let bad = HttpRequest {
+            method: "POST".into(),
+            path: "/api/steer".into(),
+            query: HashMap::new(),
+            headers: HashMap::new(),
+            body: b"not json".to_vec(),
+        };
+        assert_eq!(route(&hub, &inbox, bad).status, 400);
+    }
+
+    #[test]
+    fn base64_encoding_matches_known_vectors() {
+        assert_eq!(base64_encode(b""), "");
+        assert_eq!(base64_encode(b"f"), "Zg==");
+        assert_eq!(base64_encode(b"fo"), "Zm8=");
+        assert_eq!(base64_encode(b"foo"), "Zm9v");
+        assert_eq!(base64_encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn full_server_round_trip() {
+        use std::io::{Read, Write};
+        let server = FrontEndServer::start("127.0.0.1:0").unwrap();
+        server.hub().publish(sample_frame());
+        let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(b"GET /api/state HTTP/1.1\r\nHost: localhost\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.contains("200 OK"));
+        assert!(response.contains("latest_sequence"));
+        server.shutdown();
+    }
+}
