@@ -23,12 +23,16 @@ fn bench_planning(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9/planning");
     for kind in DatasetKind::ALL {
         let bytes = catalog.datasets.get(kind).nominal_bytes();
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &bytes, |b, &bytes| {
-            b.iter(|| {
-                let pipeline = standard_pipeline(bytes, &catalog.costs);
-                optimize(&pipeline, &graph, src, dst).unwrap().delay.total
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &bytes,
+            |b, &bytes| {
+                b.iter(|| {
+                    let pipeline = standard_pipeline(bytes, &catalog.costs);
+                    optimize(&pipeline, &graph, src, dst).unwrap().delay.total
+                })
+            },
+        );
     }
     group.finish();
 }

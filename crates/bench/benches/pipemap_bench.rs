@@ -51,7 +51,9 @@ fn bench_dp_vs_exhaustive(c: &mut Criterion) {
     let (p, g) = random_instance(5, 5, 4);
     let mut group = c.benchmark_group("pipemap/optimizers");
     group.bench_function("dp", |b| b.iter(|| optimize(&p, &g, 0, 4)));
-    group.bench_function("exhaustive", |b| b.iter(|| exhaustive_optimal(&p, &g, 0, 4, 8)));
+    group.bench_function("exhaustive", |b| {
+        b.iter(|| exhaustive_optimal(&p, &g, 0, 4, 8))
+    });
     group.bench_function("greedy", |b| b.iter(|| greedy_mapping(&p, &g, 0, 4)));
     group.finish();
 }
@@ -61,18 +63,28 @@ fn bench_fig8_planning(c: &mut Criterion) {
     let graph = NetGraph::from_topology(&fig8.topology);
     let catalog = SimulationCatalog::default();
     let pipeline = standard_pipeline(
-        catalog.datasets.get(ricsa_vizdata::dataset::DatasetKind::Rage).nominal_bytes(),
+        catalog
+            .datasets
+            .get(ricsa_vizdata::dataset::DatasetKind::Rage)
+            .nominal_bytes(),
         &catalog.costs,
     );
     let src = graph.index_of(fig8.node(Fig8Site::GaTech));
     let dst = graph.index_of(fig8.node(Fig8Site::Ornl));
     let mut group = c.benchmark_group("pipemap/fig8");
-    group.bench_function("dp-optimal", |b| b.iter(|| optimize(&pipeline, &graph, src, dst)));
+    group.bench_function("dp-optimal", |b| {
+        b.iter(|| optimize(&pipeline, &graph, src, dst))
+    });
     group.bench_function("client-server", |b| {
         b.iter(|| client_server_mapping(&pipeline, &graph, src, dst))
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_dp_scaling, bench_dp_vs_exhaustive, bench_fig8_planning);
+criterion_group!(
+    benches,
+    bench_dp_scaling,
+    bench_dp_vs_exhaustive,
+    bench_fig8_planning
+);
 criterion_main!(benches);

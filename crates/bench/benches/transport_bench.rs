@@ -40,7 +40,10 @@ fn bench_flows(c: &mut Criterion) {
     let mut group = c.benchmark_group("transport/2MB-transfer");
     group.sample_size(10);
     for (label, choice) in [
-        ("robbins-monro", ControllerChoice::RobbinsMonro { target_bps: 3e6 }),
+        (
+            "robbins-monro",
+            ControllerChoice::RobbinsMonro { target_bps: 3e6 },
+        ),
         ("aimd", ControllerChoice::Aimd),
         ("fixed-rate", ControllerChoice::FixedRate { rate_bps: 3e6 }),
     ] {

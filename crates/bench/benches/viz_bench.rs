@@ -48,7 +48,11 @@ fn bench_raycast_and_streamlines(c: &mut Criterion) {
     let tf = TransferFunction::grayscale_ramp(-1.0, 1.0);
     c.bench_function("viz/raycast-96px", |b| {
         let cam = Camera::with_viewport(96, 96);
-        b.iter(|| raycast(&field, &cam, &tf, &RaycastConfig::default()).1.samples)
+        b.iter(|| {
+            raycast(&field, &cam, &tf, &RaycastConfig::default())
+                .1
+                .samples
+        })
     });
     let vec_field = SyntheticVolume::new(VolumeKind::Jet, Dims::cube(32), 3).generate_vector();
     c.bench_function("viz/streamlines-64-seeds", |b| {

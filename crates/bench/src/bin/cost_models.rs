@@ -23,7 +23,10 @@ use std::time::Instant;
 fn main() {
     // --- Effective path bandwidth regression (Section 4.3). ---
     println!("EPB active-measurement regression vs configured link bandwidth:");
-    println!("{:>14}{:>18}{:>18}{:>10}", "link (MB/s)", "estimated (MB/s)", "min delay (ms)", "R^2");
+    println!(
+        "{:>14}{:>18}{:>18}{:>10}",
+        "link (MB/s)", "estimated (MB/s)", "min delay (ms)", "R^2"
+    );
     for &mbps in &[10.0, 40.0, 100.0] {
         let mut t = Topology::new();
         let a = t.add_node(NodeSpec::workstation("a", 1.0));
@@ -43,7 +46,10 @@ fn main() {
     // --- Isosurface extraction model (Section 4.4.1). ---
     println!("\nIsosurface extraction: predicted vs measured (fresh volumes):");
     let iso_model = IsosurfaceCostModel::calibrate(28, 4, 8);
-    println!("{:>12}{:>12}{:>16}{:>16}{:>10}", "volume", "isovalue", "predicted (ms)", "measured (ms)", "ratio");
+    println!(
+        "{:>12}{:>12}{:>16}{:>16}{:>10}",
+        "volume", "isovalue", "predicted (ms)", "measured (ms)", "ratio"
+    );
     for (kind, frac) in [
         (VolumeKind::BlastWave, 0.5),
         (VolumeKind::Jet, 0.4),
@@ -74,9 +80,19 @@ fn main() {
     let cam = Camera::with_viewport(96, 96);
     let tf = TransferFunction::grayscale_ramp(-1.0, 1.0);
     let start = Instant::now();
-    let (_, stats) = raycast(&field, &cam, &tf, &RaycastConfig::without_early_termination());
+    let (_, stats) = raycast(
+        &field,
+        &cam,
+        &tf,
+        &RaycastConfig::without_early_termination(),
+    );
     let measured = start.elapsed().as_secs_f64();
-    let predicted = rc_model.predict(1, stats.rays, (stats.samples / stats.rays as u64) as usize, 1.0);
+    let predicted = rc_model.predict(
+        1,
+        stats.rays,
+        (stats.samples / stats.rays as u64) as usize,
+        1.0,
+    );
     println!(
         "\nRay casting:   predicted {:.2} ms, measured {:.2} ms (t_sample = {:.2} ns)",
         predicted * 1e3,

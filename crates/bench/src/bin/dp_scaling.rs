@@ -52,7 +52,10 @@ fn main() {
     println!("  DP == exhaustive on {agreements}/{total} random instances\n");
 
     println!("Scaling of the dynamic program (time per optimization call):");
-    println!("{:>8}{:>10}{:>12}{:>16}{:>18}", "nodes", "edges", "modules", "time (µs)", "µs / (n·|E|)");
+    println!(
+        "{:>8}{:>10}{:>12}{:>16}{:>18}",
+        "nodes", "edges", "modules", "time (µs)", "µs / (n·|E|)"
+    );
     for &(n_nodes, n_modules) in &[
         (8usize, 4usize),
         (16, 4),

@@ -22,7 +22,7 @@
 //! `receive_handle_message`, `push_data_to_viz_node`,
 //! `update_simulation_parameters`, and the cycle loop itself.
 
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use ricsa_hydro::problems::Problem;
 use ricsa_hydro::solver::{HydroSolver, SolverConfig};
 use ricsa_hydro::steering::SteerableParams;
@@ -121,21 +121,20 @@ impl SimulationServer {
     /// them to the server state.  Returns the number of commands handled.
     pub fn receive_handle_message(&mut self) -> usize {
         let mut handled = 0;
-        loop {
-            match self.command_rx.try_recv() {
-                Ok(cmd) => {
-                    handled += 1;
-                    self.handle(cmd);
-                }
-                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
-            }
+        while let Ok(cmd) = self.command_rx.try_recv() {
+            handled += 1;
+            self.handle(cmd);
         }
         handled
     }
 
     fn handle(&mut self, cmd: SimulationCommand) {
         match cmd {
-            SimulationCommand::Start { problem, dims, params } => {
+            SimulationCommand::Start {
+                problem,
+                dims,
+                params,
+            } => {
                 if self.solver.is_none() {
                     self.solver = Some(HydroSolver::new(SolverConfig {
                         problem,
@@ -279,7 +278,11 @@ mod tests {
         commands.send(SimulationCommand::Pause).unwrap();
         server.run_cycle();
         server.run_cycle();
-        assert_eq!(server.cycle(), cycle_before, "paused simulation must not advance");
+        assert_eq!(
+            server.cycle(),
+            cycle_before,
+            "paused simulation must not advance"
+        );
         assert_eq!(server.status(), SimulationStatus::Paused);
         commands.send(SimulationCommand::Resume).unwrap();
         server.run_cycle();

@@ -34,9 +34,7 @@ impl SessionSpec {
     pub fn dataset_bytes(&self, catalog: &SimulationCatalog) -> usize {
         match self {
             SessionSpec::Simulation { snapshot_bytes, .. } => *snapshot_bytes,
-            SessionSpec::Archival { dataset } => {
-                catalog.datasets.get(*dataset).nominal_bytes()
-            }
+            SessionSpec::Archival { dataset } => catalog.datasets.get(*dataset).nominal_bytes(),
         }
     }
 
@@ -87,7 +85,10 @@ impl SimulationCatalog {
 
     /// All source names a client can request.
     pub fn source_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = DatasetKind::ALL.iter().map(|d| d.name().to_string()).collect();
+        let mut names: Vec<String> = DatasetKind::ALL
+            .iter()
+            .map(|d| d.name().to_string())
+            .collect();
         names.extend(self.simulations.iter().map(|p| p.name().to_string()));
         names
     }
@@ -155,9 +156,6 @@ mod tests {
         // The mesh produced by extraction grows with the dataset; the final
         // image does not.
         assert!(large.modules[1].output_bytes > small.modules[1].output_bytes);
-        assert_eq!(
-            large.modules[2].output_bytes,
-            small.modules[2].output_bytes
-        );
+        assert_eq!(large.modules[2].output_bytes, small.modules[2].output_bytes);
     }
 }

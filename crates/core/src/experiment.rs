@@ -67,8 +67,16 @@ impl LoopSpec {
                 Osu,
                 vec![Osu, NcStateCluster, Ornl],
             ),
-            fixed("Loop 4: ORNL-LSU-OSU-UT-ORNL", Osu, vec![Osu, UtCluster, Ornl]),
-            fixed("Loop 5: ORNL-GaTech-ORNL (PC-PC)", GaTech, vec![GaTech, Ornl]),
+            fixed(
+                "Loop 4: ORNL-LSU-OSU-UT-ORNL",
+                Osu,
+                vec![Osu, UtCluster, Ornl],
+            ),
+            fixed(
+                "Loop 5: ORNL-GaTech-ORNL (PC-PC)",
+                GaTech,
+                vec![GaTech, Ornl],
+            ),
             fixed("Loop 6: ORNL-OSU-ORNL (PC-PC)", Osu, vec![Osu, Ornl]),
         ]
     }
@@ -100,9 +108,7 @@ impl LoopSpec {
             };
         }
         match &self.forced_path {
-            Some(path) => {
-                PathChoice::ForcedPath(path.iter().map(|s| fig8.node(*s)).collect())
-            }
+            Some(path) => PathChoice::ForcedPath(path.iter().map(|s| fig8.node(*s)).collect()),
             None => PathChoice::Optimal,
         }
     }
@@ -269,15 +275,19 @@ fn plan_for(
             for module in &mut heavy.modules {
                 module.output_bytes *= overhead.max(1.0);
             }
-            let (m, d) =
-                ricsa_pipemap::baselines::paraview_crs_mapping(&heavy, &graph, src, rs, dst, *overhead)
-                    .expect("the ParaView crs deployment is feasible on Fig. 8");
+            let (m, d) = ricsa_pipemap::baselines::paraview_crs_mapping(
+                &heavy, &graph, src, rs, dst, *overhead,
+            )
+            .expect("the ParaView crs deployment is feasible on Fig. 8");
             pipeline = heavy;
             (m, d, overhead.max(1.0))
         }
     };
     let vrt = ricsa_pipemap::vrt::VisualizationRoutingTable::from_mapping(
-        &pipeline, &graph, &mapping, predicted.total,
+        &pipeline,
+        &graph,
+        &mapping,
+        predicted.total,
     );
     SessionPlan {
         session: 1,
@@ -347,7 +357,10 @@ pub fn format_fig9_table(rows: &[Fig9Row], loops: &[LoopSpec]) -> String {
     out.push_str("Measured end-to-end delay (seconds)\n");
     out.push_str(&format!("{:<44}", "Loop"));
     for row in rows {
-        out.push_str(&format!("{:>18}", format!("{}({:.0}MB)", row.dataset, row.dataset_mb)));
+        out.push_str(&format!(
+            "{:>18}",
+            format!("{}({:.0}MB)", row.dataset, row.dataset_mb)
+        ));
     }
     out.push('\n');
     for (i, spec) in loops.iter().enumerate() {

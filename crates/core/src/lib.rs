@@ -31,8 +31,7 @@ pub mod stage;
 pub use api::{SimulationCommand, SimulationServer, SimulationStatus};
 pub use catalog::{standard_pipeline, SessionSpec, SimulationCatalog};
 pub use experiment::{
-    fig10_experiment, fig9_experiment, run_loop_experiment, Fig10Row, Fig9Row, LoopResult,
-    LoopSpec,
+    fig10_experiment, fig9_experiment, run_loop_experiment, Fig10Row, Fig9Row, LoopResult, LoopSpec,
 };
 pub use message::ControlMessage;
 pub use session::{SessionPlan, SteeringSession};

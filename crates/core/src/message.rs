@@ -152,7 +152,10 @@ mod tests {
         let msg = sample();
         let payload = msg.to_payload();
         assert_eq!(payload.kind, KIND_CONTROL);
-        assert!(payload.size > 0 && payload.size < 4096, "control messages stay small");
+        assert!(
+            payload.size > 0 && payload.size < 4096,
+            "control messages stay small"
+        );
         let back = ControlMessage::from_payload(&payload).unwrap();
         assert_eq!(back, msg);
     }

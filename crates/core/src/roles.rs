@@ -86,17 +86,16 @@ impl Application for CentralManagerApp {
                     },
                 );
             }
-            ControlMessage::BeginIteration { session, iteration } => {
+            ControlMessage::BeginIteration { session, iteration }
                 // Subsequent iterations are requested by the client after it
                 // receives each image; the CM relays them to the source.
-                if session == self.session {
+                if session == self.session => {
                     send_control(
                         ctx,
                         self.data_source,
                         &ControlMessage::BeginIteration { session, iteration },
                     );
                 }
-            }
             ControlMessage::SteeringUpdate { request_id, .. } => {
                 // Steering parameter updates are forwarded to the simulator
                 // (data source) over the same control channel.
@@ -177,7 +176,10 @@ mod tests {
             .filter_map(|s| ControlMessage::from_payload(&s.payload))
             .filter(|m| matches!(m, ControlMessage::VrtDelivery { .. }))
             .count();
-        assert!(vrt_deliveries >= 2, "one delivery per participant (redundant copies allowed)");
+        assert!(
+            vrt_deliveries >= 2,
+            "one delivery per participant (redundant copies allowed)"
+        );
         // Duplicate request copies are ignored.
         let mut ctx2 = Context::new(NodeId(1), SimTime::from_secs(2.0), 50, vec![0.5]);
         cm.on_datagram(&mut ctx2, datagram(&request()));
@@ -196,10 +198,7 @@ mod tests {
                 iteration: 4,
             }),
         );
-        assert!(ctx
-            .outgoing()
-            .iter()
-            .all(|s| s.dst == NodeId(3)));
+        assert!(ctx.outgoing().iter().all(|s| s.dst == NodeId(3)));
         assert!(!ctx.outgoing().is_empty());
         // Wrong session: nothing forwarded.
         let mut ctx2 = Context::new(NodeId(1), SimTime::ZERO, 10, vec![0.5]);

@@ -140,7 +140,8 @@ impl SteeringSession {
                 (mapping, delay, overhead.max(1.0))
             }
         };
-        let vrt = VisualizationRoutingTable::from_mapping(&pipeline, &graph, &mapping, predicted.total);
+        let vrt =
+            VisualizationRoutingTable::from_mapping(&pipeline, &graph, &mapping, predicted.total);
         Ok(SessionPlan {
             session,
             spec,
@@ -191,7 +192,11 @@ impl SteeringSession {
                 session: plan.session,
                 hop_index: i,
                 hop_count,
-                previous: if i > 0 { Some(NodeId(path[i - 1])) } else { None },
+                previous: if i > 0 {
+                    Some(NodeId(path[i - 1]))
+                } else {
+                    None
+                },
                 next: if i + 1 < hop_count {
                     Some(NodeId(path[i + 1]))
                 } else {

@@ -18,10 +18,10 @@
 use crate::message::{ControlMessage, DedupFilter, CONTROL_REDUNDANCY};
 use ricsa_netsim::app::{Application, Context};
 use ricsa_netsim::node::NodeId;
-use ricsa_netsim::packet::Datagram;
+use ricsa_netsim::packet::{Datagram, Payload};
 use ricsa_netsim::time::SimTime;
 use ricsa_netsim::trace::{TraceEvent, TraceKind};
-use ricsa_transport::flow::{shared_stats, FlowConfig, KIND_ACK, KIND_DATA};
+use ricsa_transport::flow::{shared_stats, AckInfo, FlowConfig, KIND_ACK, KIND_DATA};
 use ricsa_transport::receiver::FlowReceiver;
 use ricsa_transport::rm::{RmController, RmParams};
 use ricsa_transport::sender::WindowSender;
@@ -102,14 +102,22 @@ pub fn flow_id(session: u64, iteration: u64, hop: usize) -> u64 {
 
 /// Decompose a flow id produced by [`flow_id`].
 pub fn parse_flow_id(flow: u64) -> (u64, u64, usize) {
-    (flow >> 40, (flow >> 8) & 0xFFFF_FFFF, (flow & 0xFF) as usize)
+    (
+        flow >> 40,
+        (flow >> 8) & 0xFFFF_FFFF,
+        (flow & 0xFF) as usize,
+    )
 }
 
 enum Phase {
     /// Waiting for an upstream message (or a BeginIteration, for the source).
     Idle,
     /// Receiving the upstream message.
-    Receiving { iteration: u64, receiver: Box<FlowReceiver> },
+    Receiving {
+        iteration: u64,
+        receiver: Box<FlowReceiver>,
+        receiver_timers: HashSet<u64>,
+    },
     /// Simulating module execution; the timer id marks completion.
     Processing { iteration: u64, timer: u64 },
     /// Pushing the output downstream.
@@ -126,6 +134,10 @@ pub struct StageApp {
     dedup: DedupFilter,
     /// Iterations fully handled by this stage.
     completed_iterations: u64,
+    /// The next upstream iteration this stage expects to receive; data for
+    /// earlier iterations is a stale retransmission (the upstream sender
+    /// missed our final ACK) and is re-acknowledged, never re-received.
+    next_incoming_iteration: u64,
     /// Time at which the current iteration started at this stage.
     iteration_started: SimTime,
 }
@@ -138,6 +150,7 @@ impl StageApp {
             phase: Phase::Idle,
             dedup: DedupFilter::new(),
             completed_iterations: 0,
+            next_incoming_iteration: 0,
             iteration_started: SimTime::ZERO,
         }
     }
@@ -156,12 +169,12 @@ impl StageApp {
         }
     }
 
-    fn begin_receiving(&mut self, iteration: u64) {
+    fn begin_receiving(&mut self, ctx: &mut Context, iteration: u64) {
         let prev = self
             .config
             .previous
             .expect("non-source stages have an upstream node");
-        let receiver = FlowReceiver::new(
+        let mut receiver = FlowReceiver::new(
             FlowConfig {
                 flow_id: self.config.incoming_flow(iteration),
                 ..self.flow_config(self.config.incoming_bytes)
@@ -169,9 +182,27 @@ impl StageApp {
             prev,
             shared_stats(),
         );
+        // Start the receiver so it arms its periodic-ACK timer.  Without the
+        // fallback ACKs the sender can deadlock mid-message: once it fills
+        // its outstanding window with datagrams that were lost, the receiver
+        // sees no new arrivals (so no every-Nth-datagram ACK and no NACKs)
+        // and the transfer never finishes.  Track the timers it arms so
+        // stale timers from a previous phase are not misrouted into it
+        // (each forwarded firing would re-arm and spawn an extra periodic
+        // chain, distorting the receiver's quiet detection).
+        let timers_before: HashSet<u64> =
+            ctx.scheduled_timers().iter().map(|t| t.timer_id).collect();
+        receiver.on_start(ctx);
+        let receiver_timers: HashSet<u64> = ctx
+            .scheduled_timers()
+            .iter()
+            .map(|t| t.timer_id)
+            .filter(|id| !timers_before.contains(id))
+            .collect();
         self.phase = Phase::Receiving {
             iteration,
             receiver: Box::new(receiver),
+            receiver_timers,
         };
     }
 
@@ -257,6 +288,35 @@ impl StageApp {
         };
     }
 
+    /// Re-acknowledge a fully received incoming flow whose final ACK the
+    /// upstream sender evidently missed (it is still retransmitting).  The
+    /// receiver object is long gone, but the stage knows the flow completed,
+    /// so it synthesizes the full-coverage cumulative ACK that lets the
+    /// upstream sender retire the flow.
+    fn ack_completed_incoming(&self, ctx: &mut Context, iteration: u64) {
+        let prev = match self.config.previous {
+            Some(prev) => prev,
+            None => return,
+        };
+        let flow = FlowConfig {
+            flow_id: self.config.incoming_flow(iteration),
+            ..self.flow_config(self.config.incoming_bytes)
+        };
+        let total = flow.total_datagrams().unwrap_or(1).max(1);
+        let ack = AckInfo {
+            cumulative: total - 1,
+            highest_seen: total - 1,
+            missing: vec![],
+            sack: vec![],
+            goodput_bps: 0.0,
+            received_count: total,
+        };
+        ctx.send(
+            prev,
+            Payload::with_data(KIND_ACK, flow.flow_id, 0, ack.encode()),
+        );
+    }
+
     fn handle_control(&mut self, ctx: &mut Context, msg: ControlMessage) {
         if !self.dedup.accept(&msg) {
             return;
@@ -309,10 +369,20 @@ impl Application for StageApp {
                 if hop != self.config.hop_index {
                     return;
                 }
-                // Data for a newer iteration while the previous send is still
-                // waiting on its final acknowledgement: the loop only starts a
-                // new iteration after the client received the previous image,
-                // so the old flow is implicitly complete and can be retired.
+                // A stale retransmission of an iteration this stage already
+                // received in full: the upstream sender missed the final ACK
+                // (it can be lost like any datagram).  Re-acknowledge so the
+                // sender retires the flow — and never tear down the current
+                // phase for it.
+                if iteration < self.next_incoming_iteration {
+                    self.ack_completed_incoming(ctx, iteration);
+                    return;
+                }
+                // Data for a genuinely newer iteration while the previous
+                // send is still waiting on its final acknowledgement: the
+                // loop only starts a new iteration after the client received
+                // the previous image, so the old flow is implicitly complete
+                // and can be retired.
                 if matches!(self.phase, Phase::Sending { .. }) {
                     self.completed_iterations += 1;
                     self.phase = Phase::Idle;
@@ -320,9 +390,14 @@ impl Application for StageApp {
                 // Lazily open the receiver for a new iteration.
                 if matches!(self.phase, Phase::Idle) {
                     self.iteration_started = ctx.now();
-                    self.begin_receiving(iteration);
+                    self.begin_receiving(ctx, iteration);
                 }
-                let finished = if let Phase::Receiving { receiver, iteration: it } = &mut self.phase {
+                let finished = if let Phase::Receiving {
+                    receiver,
+                    iteration: it,
+                    ..
+                } = &mut self.phase
+                {
                     if *it != iteration {
                         return;
                     }
@@ -332,6 +407,7 @@ impl Application for StageApp {
                     false
                 };
                 if finished {
+                    self.next_incoming_iteration = iteration + 1;
                     self.begin_processing(ctx, iteration);
                 }
             }
@@ -361,28 +437,38 @@ impl Application for StageApp {
                 sender,
                 sender_timers,
                 ..
-            } => {
-                if sender_timers.contains(&timer_id) {
-                    let timers_before: HashSet<u64> =
-                        ctx.scheduled_timers().iter().map(|t| t.timer_id).collect();
-                    sender.on_timer(ctx, timer_id);
-                    for t in ctx.scheduled_timers() {
-                        if !timers_before.contains(&t.timer_id) {
-                            sender_timers.insert(t.timer_id);
-                        }
+            } if sender_timers.contains(&timer_id) => {
+                let timers_before: HashSet<u64> =
+                    ctx.scheduled_timers().iter().map(|t| t.timer_id).collect();
+                sender.on_timer(ctx, timer_id);
+                for t in ctx.scheduled_timers() {
+                    if !timers_before.contains(&t.timer_id) {
+                        sender_timers.insert(t.timer_id);
                     }
-                    if sender.is_finished() {
-                        self.completed_iterations += 1;
-                        self.phase = Phase::Idle;
+                }
+                if sender.is_finished() {
+                    self.completed_iterations += 1;
+                    self.phase = Phase::Idle;
+                }
+            }
+            // Route only the receiver's own periodic-ACK timers to it; stale
+            // timers left over from a previous sender phase must not spawn
+            // extra ACK chains.
+            Phase::Receiving {
+                receiver,
+                receiver_timers,
+                ..
+            } if receiver_timers.contains(&timer_id) => {
+                let timers_before: HashSet<u64> =
+                    ctx.scheduled_timers().iter().map(|t| t.timer_id).collect();
+                receiver.on_timer(ctx, timer_id);
+                for t in ctx.scheduled_timers() {
+                    if !timers_before.contains(&t.timer_id) {
+                        receiver_timers.insert(t.timer_id);
                     }
                 }
             }
-            _ => {
-                // Receiver periodic-ACK timers and stale timers.
-                if let Phase::Receiving { receiver, .. } = &mut self.phase {
-                    receiver.on_timer(ctx, timer_id);
-                }
-            }
+            _ => {}
         }
     }
 }
@@ -413,7 +499,11 @@ mod tests {
             hop_index: hop,
             hop_count: hops,
             previous: if hop > 0 { Some(NodeId(hop - 1)) } else { None },
-            next: if hop + 1 < hops { Some(NodeId(hop + 1)) } else { None },
+            next: if hop + 1 < hops {
+                Some(NodeId(hop + 1))
+            } else {
+                None
+            },
             incoming_bytes: if hop > 0 { 10_000 } else { 0 },
             outgoing_bytes: if hop + 1 < hops { 5_000 } else { 0 },
             processing_seconds: 0.01,
@@ -518,11 +608,7 @@ mod tests {
     #[test]
     fn send_control_is_redundant() {
         let mut ctx = Context::new(NodeId(0), SimTime::ZERO, 0, vec![0.5]);
-        send_control(
-            &mut ctx,
-            NodeId(3),
-            &ControlMessage::Ack { request_id: 1 },
-        );
+        send_control(&mut ctx, NodeId(3), &ControlMessage::Ack { request_id: 1 });
         assert_eq!(ctx.outgoing().len(), CONTROL_REDUNDANCY);
         assert!(ctx.outgoing().iter().all(|s| s.dst == NodeId(3)));
     }

@@ -34,8 +34,7 @@ impl IdealGas {
     /// energy per volume).
     pub fn pressure_cons(&self, rho: f64, momentum: [f64; 3], total_energy: f64) -> f64 {
         let rho = rho.max(1e-12);
-        let kinetic =
-            0.5 * (momentum[0].powi(2) + momentum[1].powi(2) + momentum[2].powi(2)) / rho;
+        let kinetic = 0.5 * (momentum[0].powi(2) + momentum[1].powi(2) + momentum[2].powi(2)) / rho;
         ((self.gamma - 1.0) * (total_energy - kinetic)).max(0.0)
     }
 

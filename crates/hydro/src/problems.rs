@@ -119,7 +119,11 @@ pub fn apply_wind_source(state: &mut HydroState, params: &SteerableParams) {
             for x in 0..dims.nx {
                 let dx = x as f64 - center[0];
                 let dy = y as f64 - center[1];
-                let dz = if dims.nz > 1 { z as f64 - center[2] } else { 0.0 };
+                let dz = if dims.nz > 1 {
+                    z as f64 - center[2]
+                } else {
+                    0.0
+                };
                 let r = (dx * dx + dy * dy + dz * dz).sqrt();
                 if r <= radius {
                     let dir = if r < 1e-9 {

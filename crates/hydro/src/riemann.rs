@@ -92,10 +92,13 @@ pub fn hll_flux(eos: &IdealGas, left: &Cons1D, right: &Cons1D) -> Cons1D {
     } else {
         let span = (s_right - s_left).max(1e-12);
         Cons1D {
-            rho: (s_right * fl.rho - s_left * fr.rho + s_left * s_right * (right.rho - left.rho)) / span,
+            rho: (s_right * fl.rho - s_left * fr.rho + s_left * s_right * (right.rho - left.rho))
+                / span,
             mn: (s_right * fl.mn - s_left * fr.mn + s_left * s_right * (right.mn - left.mn)) / span,
-            mt1: (s_right * fl.mt1 - s_left * fr.mt1 + s_left * s_right * (right.mt1 - left.mt1)) / span,
-            mt2: (s_right * fl.mt2 - s_left * fr.mt2 + s_left * s_right * (right.mt2 - left.mt2)) / span,
+            mt1: (s_right * fl.mt1 - s_left * fr.mt1 + s_left * s_right * (right.mt1 - left.mt1))
+                / span,
+            mt2: (s_right * fl.mt2 - s_left * fr.mt2 + s_left * s_right * (right.mt2 - left.mt2))
+                / span,
             energy: (s_right * fl.energy - s_left * fr.energy
                 + s_left * s_right * (right.energy - left.energy))
                 / span,

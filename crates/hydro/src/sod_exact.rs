@@ -73,7 +73,8 @@ impl ExactRiemann {
             }
         };
         let total = |p: f64| {
-            f(p, states.p_l, states.rho_l, c_l) + f(p, states.p_r, states.rho_r, c_r)
+            f(p, states.p_l, states.rho_l, c_l)
+                + f(p, states.p_r, states.rho_r, c_r)
                 + (states.u_r - states.u_l)
         };
         // Newton iteration with a numerical derivative, started from the
@@ -122,7 +123,8 @@ impl ExactRiemann {
             if p_star > st.p_l {
                 // Left shock.
                 let sl = st.u_l
-                    - c_l * ((g + 1.0) / (2.0 * g) * p_star / st.p_l + (g - 1.0) / (2.0 * g)).sqrt();
+                    - c_l
+                        * ((g + 1.0) / (2.0 * g) * p_star / st.p_l + (g - 1.0) / (2.0 * g)).sqrt();
                 if s <= sl {
                     (st.rho_l, st.u_l, st.p_l)
                 } else {
@@ -155,7 +157,8 @@ impl ExactRiemann {
             if p_star > st.p_r {
                 // Right shock.
                 let sr = st.u_r
-                    + c_r * ((g + 1.0) / (2.0 * g) * p_star / st.p_r + (g - 1.0) / (2.0 * g)).sqrt();
+                    + c_r
+                        * ((g + 1.0) / (2.0 * g) * p_star / st.p_r + (g - 1.0) / (2.0 * g)).sqrt();
                 if s >= sr {
                     (st.rho_r, st.u_r, st.p_r)
                 } else {

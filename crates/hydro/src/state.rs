@@ -37,7 +37,11 @@ impl HydroState {
         let energy = vec![eos.total_energy(1.0, [0.0; 3], 1.0); n];
         HydroState {
             dims,
-            dx: [1.0 / dims.nx.max(1) as f64, 1.0 / dims.ny.max(1) as f64, 1.0 / dims.nz.max(1) as f64],
+            dx: [
+                1.0 / dims.nx.max(1) as f64,
+                1.0 / dims.ny.max(1) as f64,
+                1.0 / dims.nz.max(1) as f64,
+            ],
             rho,
             momentum,
             energy,
@@ -56,8 +60,8 @@ impl HydroState {
     /// Set the primitive variables of one cell.
     pub fn set_primitive(&mut self, i: usize, rho: f64, velocity: [f64; 3], pressure: f64) {
         self.rho[i] = rho;
-        for k in 0..3 {
-            self.momentum[k][i] = rho * velocity[k];
+        for (momentum, v) in self.momentum.iter_mut().zip(velocity) {
+            momentum[i] = rho * v;
         }
         self.energy[i] = self.eos.total_energy(rho, velocity, pressure);
     }
@@ -70,7 +74,11 @@ impl HydroState {
             self.momentum[1][i] / rho,
             self.momentum[2][i] / rho,
         ];
-        let mom = [self.momentum[0][i], self.momentum[1][i], self.momentum[2][i]];
+        let mom = [
+            self.momentum[0][i],
+            self.momentum[1][i],
+            self.momentum[2][i],
+        ];
         let p = self.eos.pressure_cons(self.rho[i], mom, self.energy[i]);
         (self.rho[i], v, p)
     }
@@ -94,8 +102,8 @@ impl HydroState {
         for i in 0..self.rho.len() {
             let (rho, v, p) = self.primitive(i);
             let c = self.eos.sound_speed(rho, p);
-            for k in 0..3 {
-                max = max.max(v[k].abs() + c);
+            for vk in v {
+                max = max.max(vk.abs() + c);
             }
         }
         max

@@ -98,8 +98,16 @@ pub fn sweep(state: &mut HydroState, axis: Axis, dt: f64) {
             let n = cells.len();
             let mut fluxes = Vec::with_capacity(n + 1);
             for face in 0..=n {
-                let left = if face == 0 { &cells[0] } else { &cells[face - 1] };
-                let right = if face == n { &cells[n - 1] } else { &cells[face] };
+                let left = if face == 0 {
+                    &cells[0]
+                } else {
+                    &cells[face - 1]
+                };
+                let right = if face == n {
+                    &cells[n - 1]
+                } else {
+                    &cells[face]
+                };
                 fluxes.push(hll_flux(&eos, left, right));
             }
             // Conservative update.

@@ -100,7 +100,10 @@ impl Context {
     pub fn set_timer(&mut self, delay: SimTime) -> u64 {
         let id = self.next_timer_id;
         self.next_timer_id += 1;
-        self.timers.push(TimerRequest { delay, timer_id: id });
+        self.timers.push(TimerRequest {
+            delay,
+            timer_id: id,
+        });
         id
     }
 

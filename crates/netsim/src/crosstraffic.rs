@@ -11,9 +11,10 @@ use crate::rng::SimRng;
 use serde::{Deserialize, Serialize};
 
 /// A time-varying cross-traffic load model for one link direction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub enum CrossTraffic {
     /// No competing traffic: the flow sees the raw link bandwidth.
+    #[default]
     None,
     /// A constant fraction of the link consumed by background traffic.
     Constant {
@@ -43,12 +44,6 @@ pub enum CrossTraffic {
         /// Oscillation period, seconds.
         period: f64,
     },
-}
-
-impl Default for CrossTraffic {
-    fn default() -> Self {
-        CrossTraffic::None
-    }
 }
 
 impl CrossTraffic {
@@ -145,7 +140,11 @@ impl CrossTrafficState {
                     let hold = self.rng.exponential(mean.max(1e-6)).max(1e-6);
                     self.next_transition += hold;
                 }
-                clamp_load(if self.in_high_state { high_load } else { low_load })
+                clamp_load(if self.in_high_state {
+                    high_load
+                } else {
+                    low_load
+                })
             }
         }
     }
@@ -198,8 +197,7 @@ mod tests {
         let mut s = model.instantiate(&mut rng);
         let dt = 0.01;
         let steps = 400_000;
-        let mean: f64 =
-            (0..steps).map(|i| s.load_at(i as f64 * dt)).sum::<f64>() / steps as f64;
+        let mean: f64 = (0..steps).map(|i| s.load_at(i as f64 * dt)).sum::<f64>() / steps as f64;
         assert!((mean - expected).abs() < 0.03, "mean {mean} vs {expected}");
     }
 

@@ -121,9 +121,18 @@ mod tests {
     #[test]
     fn events_pop_in_time_order() {
         let mut q = EventQueue::new();
-        q.push(SimTime::from_secs(3.0), EventKind::Start { node: NodeId(3) });
-        q.push(SimTime::from_secs(1.0), EventKind::Start { node: NodeId(1) });
-        q.push(SimTime::from_secs(2.0), EventKind::Start { node: NodeId(2) });
+        q.push(
+            SimTime::from_secs(3.0),
+            EventKind::Start { node: NodeId(3) },
+        );
+        q.push(
+            SimTime::from_secs(1.0),
+            EventKind::Start { node: NodeId(1) },
+        );
+        q.push(
+            SimTime::from_secs(2.0),
+            EventKind::Start { node: NodeId(2) },
+        );
         let order: Vec<f64> = std::iter::from_fn(|| q.pop())
             .map(|e| e.at.as_secs())
             .collect();
@@ -156,8 +165,14 @@ mod tests {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
         assert!(q.peek_time().is_none());
-        q.push(SimTime::from_secs(2.0), EventKind::Start { node: NodeId(0) });
-        q.push(SimTime::from_secs(1.0), EventKind::Start { node: NodeId(0) });
+        q.push(
+            SimTime::from_secs(2.0),
+            EventKind::Start { node: NodeId(0) },
+        );
+        q.push(
+            SimTime::from_secs(1.0),
+            EventKind::Start { node: NodeId(0) },
+        );
         assert_eq!(q.len(), 2);
         assert_eq!(q.peek_time().unwrap(), SimTime::from_secs(1.0));
         q.pop();

@@ -95,10 +95,16 @@ impl LinkSpec {
     /// Validate the specification.
     pub fn validate(&self) -> Result<(), String> {
         if !(self.bandwidth_bps.is_finite() && self.bandwidth_bps > 0.0) {
-            return Err(format!("link bandwidth must be positive, got {}", self.bandwidth_bps));
+            return Err(format!(
+                "link bandwidth must be positive, got {}",
+                self.bandwidth_bps
+            ));
         }
         if !(self.min_delay.is_finite() && self.min_delay >= 0.0) {
-            return Err(format!("link delay must be non-negative, got {}", self.min_delay));
+            return Err(format!(
+                "link delay must be non-negative, got {}",
+                self.min_delay
+            ));
         }
         if self.jitter < 0.0 || !self.jitter.is_finite() {
             return Err("link jitter must be non-negative and finite".into());
@@ -333,8 +339,8 @@ mod tests {
     #[test]
     fn cross_traffic_slows_transmission() {
         let clean = LinkSpec::new(1e6, 0.0);
-        let loaded = LinkSpec::new(1e6, 0.0)
-            .with_cross_traffic(CrossTraffic::Constant { load: 0.5 });
+        let loaded =
+            LinkSpec::new(1e6, 0.0).with_cross_traffic(CrossTraffic::Constant { load: 0.5 });
         let (mut a, mut rng_a) = mk_link(clean);
         let (mut b, mut rng_b) = mk_link(loaded);
         let ta = match a.offer(SimTime::ZERO, 100_000, &mut rng_a) {

@@ -9,9 +9,10 @@ use crate::rng::SimRng;
 use serde::{Deserialize, Serialize};
 
 /// A per-datagram loss process.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub enum LossModel {
     /// No loss at all.
+    #[default]
     None,
     /// Independent (Bernoulli) loss with the given probability per datagram.
     Bernoulli {
@@ -33,12 +34,6 @@ pub enum LossModel {
         /// Loss probability while in the bad state.
         p_bad: f64,
     },
-}
-
-impl Default for LossModel {
-    fn default() -> Self {
-        LossModel::None
-    }
 }
 
 impl LossModel {

@@ -167,7 +167,10 @@ mod tests {
         let topo = line_topology(5);
         let rt = RoutingTable::build(&topo);
         let path = rt.path(&topo, NodeId(0), NodeId(4)).unwrap();
-        assert_eq!(path, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+        assert_eq!(
+            path,
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+        );
         assert!(rt.reachable(NodeId(0), NodeId(4)));
         assert!(rt.path_metric(NodeId(0), NodeId(4)) > rt.path_metric(NodeId(0), NodeId(1)));
     }
@@ -189,7 +192,10 @@ mod tests {
         let rt = RoutingTable::build(&topo);
         assert!(rt.reachable(NodeId(0), NodeId(0)));
         assert!(rt.next_hop(NodeId(0), NodeId(0)).is_none());
-        assert_eq!(rt.path(&topo, NodeId(1), NodeId(1)).unwrap(), vec![NodeId(1)]);
+        assert_eq!(
+            rt.path(&topo, NodeId(1), NodeId(1)).unwrap(),
+            vec![NodeId(1)]
+        );
     }
 
     #[test]

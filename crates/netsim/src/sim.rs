@@ -60,9 +60,7 @@ impl Simulator {
     /// Panics if the topology fails validation; experiments should always be
     /// run on validated topologies.
     pub fn new(topology: Topology, seed: u64) -> Self {
-        topology
-            .validate()
-            .expect("topology failed validation");
+        topology.validate().expect("topology failed validation");
         let mut rng = SimRng::new(seed);
         let routing = RoutingTable::build(&topology);
         let links = topology
@@ -231,7 +229,9 @@ impl Simulator {
             None => return,
         };
         let next_timer = self.next_timer_ids.get(&node).copied().unwrap_or(0);
-        let randoms: Vec<f64> = (0..RANDOMS_PER_CALLBACK).map(|_| self.rng.uniform()).collect();
+        let randoms: Vec<f64> = (0..RANDOMS_PER_CALLBACK)
+            .map(|_| self.rng.uniform())
+            .collect();
         let mut ctx = Context::new(node, self.now, next_timer, randoms);
         match what {
             Dispatch::Start => app.on_start(&mut ctx),
@@ -353,7 +353,14 @@ mod tests {
         let (topo, a, b) = two_node_topo(8.0, 0.05); // 1 MB/s, 50 ms
         let mut sim = Simulator::new(topo, 1);
         let seen = Rc::new(RefCell::new(Vec::new()));
-        sim.install(a, Box::new(Blaster { dst: b, count: 3, size: 958 }));
+        sim.install(
+            a,
+            Box::new(Blaster {
+                dst: b,
+                count: 3,
+                size: 958,
+            }),
+        );
         sim.install(b, Box::new(Sink { seen: seen.clone() }));
         sim.run_until(SimTime::from_secs(10.0));
         let seen = seen.borrow();
@@ -379,7 +386,14 @@ mod tests {
         t.connect(b, c, LinkSpec::from_mbps(100.0, 0.02));
         let mut sim = Simulator::new(t, 3);
         let seen = Rc::new(RefCell::new(Vec::new()));
-        sim.install(a, Box::new(Blaster { dst: c, count: 1, size: 1000 }));
+        sim.install(
+            a,
+            Box::new(Blaster {
+                dst: c,
+                count: 1,
+                size: 1000,
+            }),
+        );
         sim.install(c, Box::new(Sink { seen: seen.clone() }));
         sim.run_until(SimTime::from_secs(1.0));
         let seen = seen.borrow();
@@ -401,7 +415,14 @@ mod tests {
         );
         let mut sim = Simulator::new(t, 11);
         let seen = Rc::new(RefCell::new(Vec::new()));
-        sim.install(a, Box::new(Blaster { dst: b, count: 1000, size: 100 }));
+        sim.install(
+            a,
+            Box::new(Blaster {
+                dst: b,
+                count: 1000,
+                size: 100,
+            }),
+        );
         sim.install(b, Box::new(Sink { seen: seen.clone() }));
         sim.run_until(SimTime::from_secs(60.0));
         let delivered = seen.borrow().len();
@@ -420,7 +441,14 @@ mod tests {
         let _iso = t.add_node(NodeSpec::workstation("iso", 1.0));
         t.connect(a, b, LinkSpec::from_mbps(100.0, 0.001));
         let mut sim = Simulator::new(t, 1);
-        sim.install(a, Box::new(Blaster { dst: NodeId(2), count: 1, size: 10 }));
+        sim.install(
+            a,
+            Box::new(Blaster {
+                dst: NodeId(2),
+                count: 1,
+                size: 10,
+            }),
+        );
         sim.run_until(SimTime::from_secs(1.0));
         assert_eq!(sim.stats().datagrams_unroutable, 1);
     }
@@ -443,7 +471,12 @@ mod tests {
         let (topo, a, _) = two_node_topo(10.0, 0.01);
         let mut sim = Simulator::new(topo, 1);
         let fired = Rc::new(RefCell::new(Vec::new()));
-        sim.install(a, Box::new(TimerApp { fired: fired.clone() }));
+        sim.install(
+            a,
+            Box::new(TimerApp {
+                fired: fired.clone(),
+            }),
+        );
         sim.run_until(SimTime::from_secs(1.0));
         // Timer 1 was set with the shortest delay, so it fires first.
         assert_eq!(*fired.borrow(), vec![1, 0, 2]);
@@ -462,7 +495,14 @@ mod tests {
             );
             let mut sim = Simulator::new(t, seed);
             let seen = Rc::new(RefCell::new(Vec::new()));
-            sim.install(a, Box::new(Blaster { dst: b, count: 200, size: 500 }));
+            sim.install(
+                a,
+                Box::new(Blaster {
+                    dst: b,
+                    count: 200,
+                    size: 500,
+                }),
+            );
             sim.install(b, Box::new(Sink { seen: seen.clone() }));
             sim.run_until(SimTime::from_secs(30.0));
             let v: Vec<u64> = seen.borrow().iter().map(|(s, _)| *s).collect();
@@ -511,6 +551,13 @@ mod tests {
     fn installing_on_unknown_node_panics() {
         let (topo, ..) = two_node_topo(10.0, 0.01);
         let mut sim = Simulator::new(topo, 1);
-        sim.install(NodeId(99), Box::new(Blaster { dst: NodeId(0), count: 0, size: 0 }));
+        sim.install(
+            NodeId(99),
+            Box::new(Blaster {
+                dst: NodeId(0),
+                count: 0,
+                size: 0,
+            }),
+        );
     }
 }

@@ -121,7 +121,10 @@ mod tests {
     #[test]
     fn construction_clamps_negative() {
         assert_eq!(SimTime::from_secs(-1.0), SimTime::ZERO);
-        assert_eq!(SimTime::ZERO.saturating_sub(SimTime::from_secs(5.0)), SimTime::ZERO);
+        assert_eq!(
+            SimTime::ZERO.saturating_sub(SimTime::from_secs(5.0)),
+            SimTime::ZERO
+        );
     }
 
     #[test]

@@ -105,9 +105,10 @@ impl Trace {
         self.events
             .iter()
             .filter_map(|e| match &e.kind {
-                TraceKind::Goodput { flow, bytes_per_sec } if *flow == flow_id => {
-                    Some((e.at.as_secs(), *bytes_per_sec))
-                }
+                TraceKind::Goodput {
+                    flow,
+                    bytes_per_sec,
+                } if *flow == flow_id => Some((e.at.as_secs(), *bytes_per_sec)),
                 _ => None,
             })
             .collect()
@@ -118,7 +119,9 @@ impl Trace {
         self.events
             .iter()
             .filter_map(|e| match &e.kind {
-                TraceKind::IterationCompleted { end_to_end_delay, .. } => Some(*end_to_end_delay),
+                TraceKind::IterationCompleted {
+                    end_to_end_delay, ..
+                } => Some(*end_to_end_delay),
                 _ => None,
             })
             .collect()
@@ -129,9 +132,11 @@ impl Trace {
         self.events
             .iter()
             .filter_map(|e| match &e.kind {
-                TraceKind::MessageDelivered { flow, bytes, latency } if *flow == flow_id => {
-                    Some((*bytes, *latency))
-                }
+                TraceKind::MessageDelivered {
+                    flow,
+                    bytes,
+                    latency,
+                } if *flow == flow_id => Some((*bytes, *latency)),
                 _ => None,
             })
             .collect()

@@ -48,8 +48,7 @@ pub fn best_split_on_path(
         if splits.windows(2).all(|w| w[0] <= w[1]) {
             let mut groups: Vec<Vec<usize>> = Vec::with_capacity(q);
             let mut start = 0usize;
-            for g in 0..q {
-                let end = if g + 1 < q { splits[g] } else { n };
+            for &end in splits.iter().chain(std::iter::once(&n)) {
                 groups.push((start..end).collect());
                 start = end;
             }
@@ -134,9 +133,8 @@ pub fn greedy_mapping(
     let mut at = source;
     for module in 0..n {
         let message = pipeline.input_bytes(module);
-        let feasible = |node: usize| {
-            !pipeline.modules[module].needs_graphics || graph.node(node).has_graphics
-        };
+        let feasible =
+            |node: usize| !pipeline.modules[module].needs_graphics || graph.node(node).has_graphics;
         if module == n - 1 {
             // Final module must land on the client.
             if at != client && graph.link_between(at, client).is_none() {
@@ -164,7 +162,7 @@ pub fn greedy_mapping(
         consider(at, 0.0);
         for &lid in graph.outgoing_links(at) {
             let link = graph.link(lid);
-            consider(link.to, message / link.bandwidth.max(1e-9) + link.delay);
+            consider(link.to, link.transfer_time(message));
         }
         let chosen = best_node?;
         hosts.push(chosen);

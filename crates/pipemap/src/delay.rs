@@ -62,7 +62,9 @@ impl std::fmt::Display for MappingError {
             MappingError::ModulesNotContiguous => {
                 write!(f, "groups do not cover the modules contiguously in order")
             }
-            MappingError::MissingLink { hop } => write!(f, "no link between path hop {hop} and {}", hop + 1),
+            MappingError::MissingLink { hop } => {
+                write!(f, "no link between path hop {hop} and {}", hop + 1)
+            }
             MappingError::GraphicsInfeasible { module, node } => {
                 write!(f, "module {module} needs graphics but node {node} has none")
             }
@@ -118,7 +120,11 @@ pub fn validate_mapping(
 /// # Panics
 /// Panics if the mapping is structurally invalid; call
 /// [`validate_mapping`] first when handling untrusted input.
-pub fn evaluate_mapping(pipeline: &Pipeline, graph: &NetGraph, mapping: &Mapping) -> DelayBreakdown {
+pub fn evaluate_mapping(
+    pipeline: &Pipeline,
+    graph: &NetGraph,
+    mapping: &Mapping,
+) -> DelayBreakdown {
     validate_mapping(pipeline, graph, mapping).expect("invalid mapping");
     let mut computing = 0.0;
     let mut transport = 0.0;
@@ -137,7 +143,7 @@ pub fn evaluate_mapping(pipeline: &Pipeline, graph: &NetGraph, mapping: &Mapping
             let link = graph
                 .link_between(mapping.path[g], mapping.path[g + 1])
                 .expect("validated above");
-            transport += current_bytes / link.bandwidth.max(1e-9) + link.delay;
+            transport += link.transfer_time(current_bytes);
         }
     }
     DelayBreakdown {
@@ -250,9 +256,13 @@ mod tests {
     fn error_display_strings_are_informative() {
         let e = MappingError::GraphicsInfeasible { module: 2, node: 0 };
         assert!(e.to_string().contains("graphics"));
-        assert!(MappingError::MissingLink { hop: 1 }.to_string().contains("1"));
+        assert!(MappingError::MissingLink { hop: 1 }
+            .to_string()
+            .contains("1"));
         assert!(MappingError::ShapeMismatch.to_string().contains("mismatch"));
-        assert!(MappingError::ModulesNotContiguous.to_string().contains("contiguous"));
+        assert!(MappingError::ModulesNotContiguous
+            .to_string()
+            .contains("contiguous"));
     }
 
     #[test]

@@ -71,8 +71,7 @@ pub fn optimize(
             cost[0][v] = proc;
             parent[0][v] = source;
         } else if let Some(link) = graph.link_between(source, v) {
-            cost[0][v] =
-                proc + pipeline.source_bytes / link.bandwidth.max(1e-9) + link.delay;
+            cost[0][v] = proc + link.transfer_time(pipeline.source_bytes);
             parent[0][v] = source;
         }
     }
@@ -91,10 +90,7 @@ pub fn optimize(
             // Sub-case 2: pull the message across an incoming link.
             for &lid in graph.incoming_links(v) {
                 let link = graph.link(lid);
-                let candidate = cost[j - 1][link.from]
-                    + proc
-                    + message_bytes / link.bandwidth.max(1e-9)
-                    + link.delay;
+                let candidate = cost[j - 1][link.from] + proc + link.transfer_time(message_bytes);
                 if candidate < best {
                     best = candidate;
                     best_parent = link.from;

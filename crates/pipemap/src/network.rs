@@ -35,6 +35,22 @@ pub struct NetLink {
     pub delay: f64,
 }
 
+/// Floor applied to link bandwidths in every delay formula, so a degenerate
+/// zero-bandwidth link yields a huge-but-finite delay instead of an
+/// infinity/NaN that would poison the DP comparisons.
+pub const MIN_BANDWIDTH: f64 = 1e-9;
+
+impl NetLink {
+    /// Time to move `bytes` across this link: transmission at the guarded
+    /// bandwidth plus the minimum link delay (the `m/b + d` term shared by
+    /// the DP objective of Eqs. 9-10 and the Eq. 2 evaluator — one
+    /// definition, so the optimizer and `evaluate_mapping` can never
+    /// disagree about a link's cost).
+    pub fn transfer_time(&self, bytes: f64) -> f64 {
+        bytes / self.bandwidth.max(MIN_BANDWIDTH) + self.delay
+    }
+}
+
 /// The network graph `G = (V, E)` of the paper's Section 4.2.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct NetGraph {
@@ -70,7 +86,10 @@ impl NetGraph {
     /// # Panics
     /// Panics if either endpoint is out of range.
     pub fn add_link(&mut self, from: usize, to: usize, bandwidth: f64, delay: f64) -> usize {
-        assert!(from < self.nodes.len() && to < self.nodes.len(), "link endpoint out of range");
+        assert!(
+            from < self.nodes.len() && to < self.nodes.len(),
+            "link endpoint out of range"
+        );
         let idx = self.links.len();
         self.links.push(NetLink {
             from,

@@ -68,7 +68,11 @@ impl VisualizationRoutingTable {
                 } else {
                     0.0
                 },
-                previous_hop: if i > 0 { Some(mapping.path[i - 1]) } else { None },
+                previous_hop: if i > 0 {
+                    Some(mapping.path[i - 1])
+                } else {
+                    None
+                },
             });
         }
         VisualizationRoutingTable {
@@ -134,8 +138,7 @@ mod tests {
     fn routing_table_reflects_the_mapping() {
         let (p, g) = setup();
         let opt = optimize(&p, &g, 0, 2).unwrap();
-        let vrt =
-            VisualizationRoutingTable::from_mapping(&p, &g, &opt.mapping, opt.delay.total);
+        let vrt = VisualizationRoutingTable::from_mapping(&p, &g, &opt.mapping, opt.delay.total);
         assert_eq!(vrt.pipeline, "iso");
         assert_eq!(vrt.source_node(), Some(0));
         assert_eq!(vrt.client_node(), Some(2));

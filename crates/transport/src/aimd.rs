@@ -24,6 +24,11 @@ pub struct AimdParams {
     pub decrease_factor: f64,
     /// Upper bound on the window.
     pub max_window: u32,
+    /// Loss reports within this interval of a decrease are treated as the
+    /// same loss event (TCP halves once per round trip, not once per
+    /// duplicate ACK; without grouping, one queue-overflow burst collapses
+    /// the window to 1).
+    pub loss_event_interval: f64,
 }
 
 impl Default for AimdParams {
@@ -34,6 +39,7 @@ impl Default for AimdParams {
             increase: 1,
             decrease_factor: 0.5,
             max_window: 1024,
+            loss_event_interval: 0.1,
         }
     }
 }
@@ -45,6 +51,8 @@ pub struct AimdController {
     window: f64,
     losses: u64,
     updates: u64,
+    /// Time of the last multiplicative decrease, for loss-event grouping.
+    last_decrease: f64,
 }
 
 impl AimdController {
@@ -56,6 +64,7 @@ impl AimdController {
             window,
             losses: 0,
             updates: 0,
+            last_decrease: f64::NEG_INFINITY,
         }
     }
 
@@ -83,9 +92,12 @@ impl RateController for AimdController {
             (self.window + self.params.increase as f64).min(self.params.max_window as f64);
     }
 
-    fn on_loss(&mut self, _now: f64) {
+    fn on_loss(&mut self, now: f64) {
         self.losses += 1;
-        self.window = (self.window * self.params.decrease_factor).max(1.0);
+        if now - self.last_decrease >= self.params.loss_event_interval {
+            self.window = (self.window * self.params.decrease_factor).max(1.0);
+            self.last_decrease = now;
+        }
     }
 
     fn sleep_time(&self) -> f64 {
@@ -124,9 +136,13 @@ mod tests {
         });
         c.on_loss(0.0);
         assert_eq!(c.window(), 32);
-        c.on_loss(0.0);
+        // A second report inside the same loss event is absorbed...
+        c.on_loss(0.05);
+        assert_eq!(c.window(), 32);
+        // ...but a later event halves again.
+        c.on_loss(0.5);
         assert_eq!(c.window(), 16);
-        assert_eq!(c.losses(), 2);
+        assert_eq!(c.losses(), 3);
     }
 
     #[test]
@@ -140,8 +156,9 @@ mod tests {
             c.on_goodput(1.0, 0.0);
         }
         assert_eq!(c.window(), 8);
-        for _ in 0..20 {
-            c.on_loss(0.0);
+        for i in 0..20 {
+            // Space the reports out so each is a distinct loss event.
+            c.on_loss(i as f64);
         }
         assert_eq!(c.window(), 1);
     }
@@ -164,9 +181,8 @@ mod tests {
             windows.push(c.window() as f64);
         }
         let mean = windows.iter().sum::<f64>() / windows.len() as f64;
-        let std = (windows.iter().map(|w| (w - mean).powi(2)).sum::<f64>()
-            / windows.len() as f64)
-            .sqrt();
+        let std =
+            (windows.iter().map(|w| (w - mean).powi(2)).sum::<f64>() / windows.len() as f64).sqrt();
         assert!(std / mean > 0.15, "cv {}", std / mean);
     }
 

@@ -14,9 +14,9 @@
 //! and the intercept estimates the minimum path delay; both feed the
 //! dynamic-programming optimizer as `b_{i,j}` and `d_{i,j}`.
 
-use crate::harness::{measure_message_latency, ControllerChoice, FlowExperiment};
 use crate::flow::FlowConfig;
 use crate::harness::run_flow;
+use crate::harness::{measure_message_latency, ControllerChoice, FlowExperiment};
 use ricsa_netsim::node::NodeId;
 use ricsa_netsim::time::SimTime;
 use ricsa_netsim::topology::Topology;
@@ -191,6 +191,11 @@ pub fn measure_path(
 
 /// Measure the *sustainable goodput* of a path with a long-running probing
 /// flow, as a cross-check of the regression-based estimate.
+///
+/// The probe is congestion-controlled (AIMD): an open-loop blast far above
+/// the path capacity would just melt the bottleneck queue, and a reliable
+/// transport's goodput collapses under that kind of self-inflicted loss —
+/// the measured number would say nothing about the path.
 pub fn measure_sustained_goodput(
     topology: &Topology,
     src: NodeId,
@@ -203,7 +208,7 @@ pub fn measure_sustained_goodput(
         src,
         dst,
         config: FlowConfig::default(),
-        controller: ControllerChoice::FixedRate { rate_bps: 1e9 },
+        controller: ControllerChoice::Aimd,
         duration,
         seed,
     });
@@ -280,11 +285,7 @@ mod tests {
         let mut t = Topology::new();
         let a = t.add_node(NodeSpec::workstation("a", 1.0));
         let b = t.add_node(NodeSpec::workstation("b", 1.0));
-        t.connect(
-            a,
-            b,
-            LinkSpec::from_mbps(40.0, 0.02).with_queue_delay(2.0),
-        );
+        t.connect(a, b, LinkSpec::from_mbps(40.0, 0.02).with_queue_delay(2.0));
         let config = ActiveMeasurementConfig {
             probe_sizes: vec![128 * 1024, 512 * 1024, 2 * 1024 * 1024],
             repetitions: 1,

@@ -31,6 +31,10 @@ pub struct FlowConfig {
     /// Maximum number of unacknowledged datagrams the sender keeps in flight
     /// before it pauses new transmissions (retransmissions still go out).
     pub max_outstanding: usize,
+    /// Reorder tolerance, seconds: a hole must stay missing this long before
+    /// the receiver NACKs it (jittered links reorder datagrams, and NACKing
+    /// a merely-late datagram triggers a useless retransmission).
+    pub nack_delay: f64,
     /// Total number of bytes to transfer; `None` means an unbounded
     /// monitoring stream (used by the stabilization experiments).
     pub message_bytes: Option<usize>,
@@ -46,6 +50,7 @@ impl Default for FlowConfig {
             ack_every: 8,
             ack_interval: 0.05,
             max_outstanding: 4096,
+            nack_delay: 0.01,
             message_bytes: None,
         }
     }
@@ -75,6 +80,9 @@ impl FlowConfig {
         if self.max_outstanding == 0 {
             return Err("max_outstanding must be positive".into());
         }
+        if !self.nack_delay.is_finite() || self.nack_delay < 0.0 {
+            return Err("nack delay must be non-negative".into());
+        }
         Ok(())
     }
 }
@@ -103,8 +111,12 @@ pub trait RateController {
 
 /// The acknowledgement structure exchanged on the reverse channel.
 ///
-/// It carries cumulative progress, a bounded list of missing sequence
-/// numbers (negative acknowledgements) and the receiver's goodput estimate.
+/// It carries cumulative progress, explicit selective-acknowledgement
+/// ranges (TCP-SACK style), a bounded list of missing sequence numbers
+/// (negative acknowledgements) and the receiver's goodput estimate.  The
+/// NACK list is deliberately partial — reorder-delayed, throttled, bounded
+/// — so receipt must never be inferred from absence in it; only the
+/// cumulative point and the SACK ranges confirm delivery.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AckInfo {
     /// Highest sequence number such that all datagrams `<= seq` have been
@@ -114,6 +126,9 @@ pub struct AckInfo {
     pub highest_seen: u64,
     /// Missing sequence numbers in `(cumulative, highest_seen)`, truncated.
     pub missing: Vec<u64>,
+    /// Inclusive ranges of received sequence numbers above the cumulative
+    /// point, truncated to [`MAX_SACK_RANGES_PER_ACK`].
+    pub sack: Vec<(u64, u64)>,
     /// Receiver goodput estimate in bytes per second.
     pub goodput_bps: f64,
     /// Total distinct datagrams received so far.
@@ -126,10 +141,13 @@ pub const NO_CUMULATIVE: u64 = u64::MAX;
 /// Maximum number of NACKed sequence numbers carried per ACK.
 pub const MAX_NACKS_PER_ACK: usize = 64;
 
+/// Maximum number of SACK ranges carried per ACK.
+pub const MAX_SACK_RANGES_PER_ACK: usize = 32;
+
 impl AckInfo {
     /// Encode into a compact little-endian byte representation.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(8 * (4 + self.missing.len()));
+        let mut out = Vec::with_capacity(8 * (5 + self.missing.len() + 2 * self.sack.len()));
         out.extend_from_slice(&self.cumulative.to_le_bytes());
         out.extend_from_slice(&self.highest_seen.to_le_bytes());
         out.extend_from_slice(&self.goodput_bps.to_le_bytes());
@@ -137,6 +155,11 @@ impl AckInfo {
         out.extend_from_slice(&(self.missing.len() as u64).to_le_bytes());
         for m in &self.missing {
             out.extend_from_slice(&m.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.sack.len() as u64).to_le_bytes());
+        for (lo, hi) in &self.sack {
+            out.extend_from_slice(&lo.to_le_bytes());
+            out.extend_from_slice(&hi.to_le_bytes());
         }
         out
     }
@@ -161,14 +184,28 @@ impl AckInfo {
         let goodput_bps = read_f64(16);
         let received_count = read_u64(24);
         let n_missing = read_u64(32) as usize;
-        if n_missing > MAX_NACKS_PER_ACK || data.len() < 40 + 8 * n_missing {
+        if n_missing > MAX_NACKS_PER_ACK || data.len() < 48 + 8 * n_missing {
             return None;
         }
         let missing = (0..n_missing).map(|k| read_u64(40 + 8 * k)).collect();
+        let sack_at = 40 + 8 * n_missing;
+        let n_sack = read_u64(sack_at) as usize;
+        if n_sack > MAX_SACK_RANGES_PER_ACK || data.len() < sack_at + 8 + 16 * n_sack {
+            return None;
+        }
+        let sack = (0..n_sack)
+            .map(|k| {
+                (
+                    read_u64(sack_at + 8 + 16 * k),
+                    read_u64(sack_at + 16 + 16 * k),
+                )
+            })
+            .collect();
         Some(AckInfo {
             cumulative,
             highest_seen,
             missing,
+            sack,
             goodput_bps,
             received_count,
         })
@@ -206,8 +243,7 @@ impl FlowStats {
         if self.goodput_samples.is_empty() {
             return 0.0;
         }
-        self.goodput_samples.iter().map(|(_, g)| g).sum::<f64>()
-            / self.goodput_samples.len() as f64
+        self.goodput_samples.iter().map(|(_, g)| g).sum::<f64>() / self.goodput_samples.len() as f64
     }
 
     /// Mean goodput restricted to samples at or after `from_secs`.
@@ -301,6 +337,7 @@ mod tests {
             cumulative: 41,
             highest_seen: 64,
             missing: vec![42, 50, 63],
+            sack: vec![(43, 49), (51, 62)],
             goodput_bps: 123456.78,
             received_count: 61,
         };
@@ -318,6 +355,7 @@ mod tests {
             cumulative: 0,
             highest_seen: 0,
             missing: vec![],
+            sack: vec![],
             goodput_bps: 0.0,
             received_count: 0,
         }

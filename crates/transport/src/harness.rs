@@ -122,8 +122,7 @@ pub fn run_flow(exp: FlowExperiment) -> FlowOutcome {
             sim.install(exp.src, Box::new(sender));
         }
         ControllerChoice::FixedRate { rate_bps } => {
-            let controller =
-                FixedController::for_rate(rate_bps, exp.config.window, exp.config.mtu);
+            let controller = FixedController::for_rate(rate_bps, exp.config.window, exp.config.mtu);
             controller_name = controller.name().to_string();
             let sender = WindowSender::new(exp.config.clone(), exp.dst, controller, stats.clone());
             sim.install(exp.src, Box::new(sender));
@@ -213,7 +212,11 @@ mod tests {
             (ss - target).abs() / target < 0.2,
             "steady-state goodput {ss} should be within 20% of target {target}"
         );
-        assert!(outcome.steady_state_cv() < 0.2, "cv {}", outcome.steady_state_cv());
+        assert!(
+            outcome.steady_state_cv() < 0.2,
+            "cv {}",
+            outcome.steady_state_cv()
+        );
         assert_eq!(outcome.controller, "robbins-monro");
     }
 
@@ -265,8 +268,15 @@ mod tests {
         let target = 0.5e6;
         let rm_error = (rm.steady_state_goodput() - target).abs() / target;
         let aimd_error = (aimd.steady_state_goodput() - target).abs() / target;
-        assert!(rm_error < 0.2, "RM should hold g*: relative error {rm_error}");
-        assert!(rm.steady_state_cv() < 0.2, "RM jitter {}", rm.steady_state_cv());
+        assert!(
+            rm_error < 0.2,
+            "RM should hold g*: relative error {rm_error}"
+        );
+        assert!(
+            rm.steady_state_cv() < 0.2,
+            "RM jitter {}",
+            rm.steady_state_cv()
+        );
         assert!(
             aimd_error > 2.0 * rm_error,
             "AIMD should miss the target by far more than RM (aimd {aimd_error}, rm {rm_error})"
@@ -286,16 +296,9 @@ mod tests {
             3,
         )
         .expect("small transfer should complete");
-        let large = measure_message_latency(
-            topo,
-            a,
-            b,
-            2_000_000,
-            5e6,
-            SimTime::from_secs(60.0),
-            3,
-        )
-        .expect("large transfer should complete");
+        let large =
+            measure_message_latency(topo, a, b, 2_000_000, 5e6, SimTime::from_secs(60.0), 3)
+                .expect("large transfer should complete");
         assert!(large > small, "large {large} should exceed small {small}");
     }
 

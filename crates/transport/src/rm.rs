@@ -258,10 +258,13 @@ mod tests {
         );
         // Late-stage variability should be dominated by the injected noise,
         // not by the controller hunting.
-        let tail_std = (tail.iter().map(|g| (g - tail_mean).powi(2)).sum::<f64>()
-            / tail.len() as f64)
-            .sqrt();
-        assert!(tail_std / tail_mean < 0.15, "tail cv {}", tail_std / tail_mean);
+        let tail_std =
+            (tail.iter().map(|g| (g - tail_mean).powi(2)).sum::<f64>() / tail.len() as f64).sqrt();
+        assert!(
+            tail_std / tail_mean < 0.15,
+            "tail cv {}",
+            tail_std / tail_mean
+        );
     }
 
     #[test]
@@ -283,7 +286,10 @@ mod tests {
             late.update(5e6);
             (late.sleep_time() - before).abs()
         };
-        assert!(d_late < d_early, "late {d_late} should be < early {d_early}");
+        assert!(
+            d_late < d_early,
+            "late {d_late} should be < early {d_early}"
+        );
     }
 
     #[test]

@@ -26,7 +26,8 @@ pub struct WindowSender<C: RateController> {
     next_new_seq: u64,
     /// Sequence numbers confirmed received (cumulative point).
     cumulative_acked: Option<u64>,
-    /// Individually acknowledged datagrams above the cumulative point.
+    /// Sequence numbers above the cumulative point the receiver explicitly
+    /// confirmed via SACK ranges.
     sacked: BTreeSet<u64>,
     /// Datagrams the receiver reported missing, pending retransmission.
     nacked: BTreeSet<u64>,
@@ -39,9 +40,12 @@ pub struct WindowSender<C: RateController> {
     /// off the burst timer while the flow is blocked on acknowledgements.
     last_burst_progressed: bool,
     /// Virtual time of the last acknowledgement progress, for the
-    /// retransmission timeout that recovers lost tail datagrams (which the
-    /// receiver can never NACK because nothing newer arrives after them).
+    /// retransmission timeout of last resort.
     last_ack_progress: f64,
+    /// Highest receiver-reported distinct-datagram count, the progress
+    /// signal that holds the retransmission timeout back while data is
+    /// still landing.
+    last_received_count: u64,
 }
 
 impl<C: RateController> WindowSender<C> {
@@ -70,6 +74,7 @@ impl<C: RateController> WindowSender<C> {
             burst_timer_armed: false,
             last_burst_progressed: true,
             last_ack_progress: 0.0,
+            last_received_count: 0,
         }
     }
 
@@ -88,6 +93,11 @@ impl<C: RateController> WindowSender<C> {
     }
 
     fn is_acked(&self, seq: u64) -> bool {
+        // Only the cumulative point and explicit SACK ranges confirm
+        // receipt.  The receiver's NACK lists are deliberately partial
+        // (reorder-delayed, throttled, bounded), so "below highest and not
+        // NACKed" must NOT be treated as received — inferring selective
+        // acknowledgements from absence permanently loses real holes.
         self.cumulative_acked.map(|c| seq <= c).unwrap_or(false) || self.sacked.contains(&seq)
     }
 
@@ -126,22 +136,23 @@ impl<C: RateController> WindowSender<C> {
         if self.finished {
             return;
         }
-        // Retransmission timeout: if every datagram has been sent, none have
-        // been acknowledged for a while and no NACKs are pending, the tail of
-        // the message was lost (the receiver cannot NACK datagrams it never
-        // saw anything after).  Re-queue the outstanding datagrams.
+        // Retransmission timeout of last resort: if the receiver has made no
+        // progress of any kind for a while and no NACKs are pending, the
+        // feedback channel itself has gone silent (every ACK lost, or the
+        // whole in-flight window died).  Re-queue one window's worth of the
+        // oldest outstanding datagrams.  Only finite messages time out;
+        // monitoring streams rely on NACKs alone.
         let now = ctx.now().as_secs();
-        let all_sent = self
-            .total_datagrams()
-            .map(|total| self.next_new_seq >= total)
-            .unwrap_or(false);
+        let finite = self.total_datagrams().is_some();
         let rto = (self.config.ack_interval * 4.0).max(0.2);
-        if all_sent
+        if finite
             && self.nacked.is_empty()
             && !self.outstanding.is_empty()
             && now - self.last_ack_progress > rto
         {
-            self.nacked.extend(self.outstanding.iter().copied());
+            let window = self.controller.window().max(1) as usize;
+            self.nacked
+                .extend(self.outstanding.iter().copied().take(window));
             self.last_ack_progress = now;
         }
         let window = self.controller.window().max(1) as usize;
@@ -184,7 +195,9 @@ impl<C: RateController> WindowSender<C> {
             let now = ctx.now().as_secs();
             let mut stats = self.stats.borrow_mut();
             if stats.sleep_samples.len() < 100_000 {
-                stats.sleep_samples.push((now, self.controller.sleep_time()));
+                stats
+                    .sleep_samples
+                    .push((now, self.controller.sleep_time()));
             }
         }
     }
@@ -222,46 +235,57 @@ impl<C: RateController> WindowSender<C> {
             }
             self.sacked.retain(|s| *s > newly_cumulative);
         }
-        // Selective acknowledgement: everything at or below `highest_seen`
-        // that is not listed as missing has been received.
-        let missing: BTreeSet<u64> = ack.missing.iter().copied().collect();
-        let below_highest: Vec<u64> = self
-            .outstanding
-            .iter()
-            .copied()
-            .filter(|s| *s <= ack.highest_seen && !missing.contains(s))
-            .collect();
-        for seq in below_highest {
-            self.outstanding.remove(&seq);
-            self.sacked.insert(seq);
-        }
-        // NACK-driven retransmission + loss signal to the controller.
-        if !missing.is_empty() {
-            self.controller.on_loss(now);
-        }
-        for seq in missing {
-            if !self.is_acked(seq) {
-                self.nacked.insert(seq);
+        // Explicit selective acknowledgements: the receiver vouches for
+        // these exact ranges, so the sender may retire them.
+        for &(lo, hi) in &ack.sack {
+            let in_range: Vec<u64> = self.outstanding.range(lo..=hi).copied().collect();
+            for seq in in_range {
+                self.outstanding.remove(&seq);
+                self.sacked.insert(seq);
             }
+        }
+        // Later feedback supersedes stale NACK state: anything now covered
+        // by the cumulative point or a SACK range must not be retransmitted.
+        let cum = self.cumulative_acked;
+        let sacked = &self.sacked;
+        self.nacked
+            .retain(|s| !(cum.map(|c| *s <= c).unwrap_or(false) || sacked.contains(s)));
+        // NACK-driven retransmission + loss signal to the controller.  Only
+        // NACKs that survive the filters count as losses: entries for
+        // never-sent sequences (a quiet receiver NACKs up to the full
+        // message length) or already-confirmed data must not shrink the
+        // window, and a hole already queued for retransmission is one loss
+        // event, not one per repeated report.
+        let mut fresh_losses = 0u32;
+        for &seq in &ack.missing {
+            if seq < self.next_new_seq && !self.is_acked(seq) && self.nacked.insert(seq) {
+                fresh_losses += 1;
+            }
+        }
+        if fresh_losses > 0 {
+            self.controller.on_loss(now);
         }
         // Goodput observation drives the Robbins-Monro / AIMD update.
         if ack.goodput_bps > 0.0 {
             self.controller.on_goodput(ack.goodput_bps, now);
         }
-        if self.outstanding.len() < outstanding_before {
+        // Progress = the receiver confirmed something new: the cumulative
+        // point advanced (outstanding shrank) or its distinct-datagram count
+        // grew.  Either resets the retransmission timeout.
+        if self.outstanding.len() < outstanding_before
+            || ack.received_count > self.last_received_count
+        {
             self.last_ack_progress = now;
         }
-        // Completion check for finite messages.
+        self.last_received_count = self.last_received_count.max(ack.received_count);
+        // Completion check for finite messages: the cumulative point covers
+        // the whole message exactly when every datagram arrived.
         if let Some(total) = self.total_datagrams() {
-            let done = self
+            if self
                 .cumulative_acked
                 .map(|c| c + 1 >= total)
                 .unwrap_or(false)
-                || (self.sacked.len() as u64 + self.cumulative_acked.map(|c| c + 1).unwrap_or(0)
-                    >= total
-                    && self.nacked.is_empty()
-                    && self.next_new_seq >= total);
-            if done {
+            {
                 self.finished = true;
             }
         }
@@ -299,7 +323,10 @@ mod tests {
     use crate::fixed::FixedController;
     use crate::flow::shared_stats;
 
-    fn mk_sender(message_bytes: Option<usize>, window: u32) -> (WindowSender<FixedController>, SharedFlowStats) {
+    fn mk_sender(
+        message_bytes: Option<usize>,
+        window: u32,
+    ) -> (WindowSender<FixedController>, SharedFlowStats) {
         let stats = shared_stats();
         let config = FlowConfig {
             mtu: 100,
@@ -369,6 +396,7 @@ mod tests {
             cumulative: 2,
             highest_seen: 2,
             missing: vec![],
+            sack: vec![],
             goodput_bps: 1e5,
             received_count: 3,
         };
@@ -386,6 +414,7 @@ mod tests {
             cumulative: 0,
             highest_seen: 3,
             missing: vec![1, 2],
+            sack: vec![],
             goodput_bps: 1e5,
             received_count: 2,
         };
@@ -411,12 +440,25 @@ mod tests {
             cumulative: NO_CUMULATIVE,
             highest_seen: 3,
             missing: vec![0],
+            sack: vec![(1, 3)],
             goodput_bps: 0.0,
             received_count: 3,
         };
         tx.on_datagram(&mut ctx, ack_payload(&ack));
-        // 1,2,3 are sacked; only 0 should be pending retransmission.
+        // 1,2,3 are explicitly sacked; only 0 should be pending
+        // retransmission.
         assert_eq!(tx.nacked.iter().copied().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(tx.outstanding.iter().copied().collect::<Vec<_>>(), vec![0]);
+        // A NACK without SACK coverage leaves unconfirmed datagrams alone.
+        let ack2 = AckInfo {
+            cumulative: NO_CUMULATIVE,
+            highest_seen: 3,
+            missing: vec![0],
+            sack: vec![],
+            goodput_bps: 0.0,
+            received_count: 3,
+        };
+        tx.on_datagram(&mut ctx, ack_payload(&ack2));
         assert_eq!(tx.outstanding.iter().copied().collect::<Vec<_>>(), vec![0]);
     }
 
@@ -444,6 +486,7 @@ mod tests {
             cumulative: 0,
             highest_seen: 0,
             missing: vec![],
+            sack: vec![],
             goodput_bps: 1e5,
             received_count: 1,
         };

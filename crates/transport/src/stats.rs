@@ -144,7 +144,13 @@ mod tests {
     use super::*;
 
     fn series(values: &[f64]) -> TimeSeries {
-        TimeSeries::new(values.iter().enumerate().map(|(i, v)| (i as f64, *v)).collect())
+        TimeSeries::new(
+            values
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (i as f64, *v))
+                .collect(),
+        )
     }
 
     #[test]
@@ -199,7 +205,7 @@ mod tests {
     #[test]
     fn stability_index_detects_settling() {
         let mut vals: Vec<f64> = vec![1.0, 9.0, 2.0, 8.0, 3.0, 7.0];
-        vals.extend(std::iter::repeat(5.0).take(6));
+        vals.extend(std::iter::repeat_n(5.0, 6));
         let s = series(&vals);
         assert!(s.stability_index(0.5) > 5.0);
         let constant = series(&[5.0; 10]);

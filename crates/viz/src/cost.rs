@@ -291,7 +291,8 @@ impl PipelineCostDb {
         // Extraction: seconds per active-block byte, scaled by the fraction
         // of blocks that are active at a typical isovalue.
         let extraction_time_per_block = iso.t_block(cells_per_block);
-        let seconds_per_byte_iso = active_fraction.clamp(0.0, 1.0) * extraction_time_per_block / block_bytes;
+        let seconds_per_byte_iso =
+            active_fraction.clamp(0.0, 1.0) * extraction_time_per_block / block_bytes;
         // Triangles produced per input byte -> output ratio for the mesh
         // (36 bytes per triangle: 3 vertices x (position only counted here),
         // matching TriangleMesh::nbytes per unwelded triangle / 2 for the
@@ -302,7 +303,8 @@ impl PipelineCostDb {
             .zip(&iso.p_case)
             .map(|(n, p)| n * p)
             .sum();
-        let triangles_per_byte = active_fraction * tri_per_cell * cells_per_block as f64 / block_bytes;
+        let triangles_per_byte =
+            active_fraction * tri_per_cell * cells_per_block as f64 / block_bytes;
         let mesh_bytes_per_triangle = 76.0; // 3 pos + 3 normals (72B) + 3 u32 indices / shared
         let iso_output_ratio = (triangles_per_byte * mesh_bytes_per_triangle).max(1e-4);
 

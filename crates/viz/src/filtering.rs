@@ -65,9 +65,14 @@ impl std::error::Error for FilterError {}
 
 /// Apply the filtering stage to a raw container, producing the derived field
 /// handed to the transformation stage.
-pub fn apply_filter(container: &VolumeContainer, params: &FilterParams) -> Result<ScalarField, FilterError> {
+pub fn apply_filter(
+    container: &VolumeContainer,
+    params: &FilterParams,
+) -> Result<ScalarField, FilterError> {
     if params.downsample_factor == 0 {
-        return Err(FilterError::BadParams("downsample factor must be >= 1".into()));
+        return Err(FilterError::BadParams(
+            "downsample factor must be >= 1".into(),
+        ));
     }
     if params.block_size == 0 {
         return Err(FilterError::BadParams("block size must be >= 1".into()));
@@ -82,7 +87,11 @@ pub fn apply_filter(container: &VolumeContainer, params: &FilterParams) -> Resul
     let mut working = field.clone();
     if let Some(octant) = params.octant {
         let octree = Octree::build(&working, params.block_size);
-        let keep: Vec<_> = octree.octant_blocks(octant).iter().map(|b| (b.min, b.max)).collect();
+        let keep: Vec<_> = octree
+            .octant_blocks(octant)
+            .iter()
+            .map(|b| (b.min, b.max))
+            .collect();
         let mut mask = ScalarField::zeros(working.dims);
         for (lo, hi) in keep {
             for z in lo[2]..hi[2] {
@@ -117,7 +126,11 @@ pub fn apply_filter(container: &VolumeContainer, params: &FilterParams) -> Resul
 /// The fraction by which filtering reduces the data size, used by the cost
 /// database to set the filter module's output size.
 pub fn reduction_factor(params: &FilterParams) -> f64 {
-    let octant = if params.octant.is_some() { 1.0 / 8.0 } else { 1.0 };
+    let octant = if params.octant.is_some() {
+        1.0 / 8.0
+    } else {
+        1.0
+    };
     let ds = params.downsample_factor.max(1).pow(3) as f64;
     octant / ds
 }

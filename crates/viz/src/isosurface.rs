@@ -62,9 +62,9 @@ impl CaseHistogram {
     /// Eq. 6); zero for classes never observed.
     pub fn triangles_per_cell(&self) -> [f64; CASE_CLASS_COUNT] {
         let mut t = [0.0; CASE_CLASS_COUNT];
-        for i in 0..CASE_CLASS_COUNT {
-            if self.counts[i] > 0 {
-                t[i] = self.triangles[i] as f64 / self.counts[i] as f64;
+        for ((t, &count), &triangles) in t.iter_mut().zip(&self.counts).zip(&self.triangles) {
+            if count > 0 {
+                *t = triangles as f64 / count as f64;
             }
         }
         t
@@ -94,7 +94,11 @@ pub struct IsosurfaceResult {
 
 /// Extract an isosurface from an entire field at `isovalue`, decomposing it
 /// into blocks of `block_size` samples per edge.
-pub fn extract_isosurface(field: &ScalarField, isovalue: f32, block_size: usize) -> IsosurfaceResult {
+pub fn extract_isosurface(
+    field: &ScalarField,
+    isovalue: f32,
+    block_size: usize,
+) -> IsosurfaceResult {
     let octree = Octree::build(field, block_size);
     extract_from_octree(field, &octree, isovalue, None)
 }
@@ -142,7 +146,11 @@ pub fn extract_from_octree(
 }
 
 /// Extract the isosurface inside a single block.
-pub fn extract_block(field: &ScalarField, block: &OctreeBlock, isovalue: f32) -> (TriangleMesh, CaseHistogram) {
+pub fn extract_block(
+    field: &ScalarField,
+    block: &OctreeBlock,
+    isovalue: f32,
+) -> (TriangleMesh, CaseHistogram) {
     let mut mesh = TriangleMesh::new();
     let mut histogram = CaseHistogram::default();
     let d = field.dims;
@@ -202,7 +210,13 @@ fn triangulate_cell(
         ]
     };
     for tet in &CELL_TETRAHEDRA {
-        triangulate_tetrahedron(mesh, field, tet.map(corner_pos), tet.map(|i| values[i]), isovalue);
+        triangulate_tetrahedron(
+            mesh,
+            field,
+            tet.map(corner_pos),
+            tet.map(|i| values[i]),
+            isovalue,
+        );
     }
 }
 

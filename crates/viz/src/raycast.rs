@@ -151,8 +151,8 @@ fn march_ray(
             }
         }
     }
-    for k in 0..3 {
-        color[k] += (1.0 - alpha) * config.background[k];
+    for (c, background) in color.iter_mut().zip(config.background) {
+        *c += (1.0 - alpha) * background;
     }
     (
         [

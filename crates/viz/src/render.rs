@@ -40,18 +40,25 @@ pub fn render_mesh(mesh: &TriangleMesh, camera: &Camera, base_color: [f32; 3]) -
         let n = {
             let mut acc = [0.0f32; 3];
             for &i in &idx {
-                for k in 0..3 {
-                    acc[k] += mesh.normals[i][k];
+                for (a, normal) in acc.iter_mut().zip(mesh.normals[i]) {
+                    *a += normal;
                 }
             }
-            let len = (acc[0] * acc[0] + acc[1] * acc[1] + acc[2] * acc[2]).sqrt().max(1e-6);
+            let len = (acc[0] * acc[0] + acc[1] * acc[1] + acc[2] * acc[2])
+                .sqrt()
+                .max(1e-6);
             [acc[0] / len, acc[1] / len, acc[2] / len]
         };
         let lambert = (-(n[0] * forward[0] + n[1] * forward[1] + n[2] * forward[2]))
             .abs()
             .clamp(0.1, 1.0);
         let shade = |c: f32| ((c * (0.25 + 0.75 * lambert)).clamp(0.0, 1.0) * 255.0) as u8;
-        let color = [shade(base_color[0]), shade(base_color[1]), shade(base_color[2]), 255];
+        let color = [
+            shade(base_color[0]),
+            shade(base_color[1]),
+            shade(base_color[2]),
+            255,
+        ];
 
         rasterize_triangle(&mut image, &mut depth, &projected, color);
     }
@@ -68,10 +75,30 @@ fn rasterize_triangle(
     let xs = [projected[0].0, projected[1].0, projected[2].0];
     let ys = [projected[0].1, projected[1].1, projected[2].1];
     let zs = [projected[0].2, projected[1].2, projected[2].2];
-    let min_x = xs.iter().cloned().fold(f32::INFINITY, f32::min).floor().max(0.0);
-    let max_x = xs.iter().cloned().fold(f32::NEG_INFINITY, f32::max).ceil().min(w - 1.0);
-    let min_y = ys.iter().cloned().fold(f32::INFINITY, f32::min).floor().max(0.0);
-    let max_y = ys.iter().cloned().fold(f32::NEG_INFINITY, f32::max).ceil().min(h - 1.0);
+    let min_x = xs
+        .iter()
+        .cloned()
+        .fold(f32::INFINITY, f32::min)
+        .floor()
+        .max(0.0);
+    let max_x = xs
+        .iter()
+        .cloned()
+        .fold(f32::NEG_INFINITY, f32::max)
+        .ceil()
+        .min(w - 1.0);
+    let min_y = ys
+        .iter()
+        .cloned()
+        .fold(f32::INFINITY, f32::min)
+        .floor()
+        .max(0.0);
+    let max_y = ys
+        .iter()
+        .cloned()
+        .fold(f32::NEG_INFINITY, f32::max)
+        .ceil()
+        .min(h - 1.0);
     if min_x > max_x || min_y > max_y {
         return;
     }
@@ -119,7 +146,11 @@ mod tests {
 
     #[test]
     fn empty_mesh_renders_black_image() {
-        let img = render_mesh(&TriangleMesh::new(), &Camera::with_viewport(32, 32), [1.0; 3]);
+        let img = render_mesh(
+            &TriangleMesh::new(),
+            &Camera::with_viewport(32, 32),
+            [1.0; 3],
+        );
         assert_eq!(img.coverage(), 0.0);
         assert_eq!(img.width, 32);
     }

@@ -81,7 +81,11 @@ impl StreamlineSet {
 }
 
 /// Trace one streamline from `seed` through `field`.
-pub fn trace_streamline(field: &VectorField, seed: [f32; 3], config: &StreamlineConfig) -> Streamline {
+pub fn trace_streamline(
+    field: &VectorField,
+    seed: [f32; 3],
+    config: &StreamlineConfig,
+) -> Streamline {
     let d = field.dims;
     let inside = |p: [f32; 3]| {
         p[0] >= 0.0

@@ -33,7 +33,11 @@ impl TransferFunction {
     /// Panics if no control points are supplied.
     pub fn new(mut points: Vec<ControlPoint>) -> Self {
         assert!(!points.is_empty(), "transfer function needs control points");
-        points.sort_by(|a, b| a.value.partial_cmp(&b.value).unwrap_or(std::cmp::Ordering::Equal));
+        points.sort_by(|a, b| {
+            a.value
+                .partial_cmp(&b.value)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         TransferFunction { points }
     }
 

@@ -159,9 +159,21 @@ mod tests {
         let jet = catalog.get(DatasetKind::Jet);
         let rage = catalog.get(DatasetKind::Rage);
         let vw = catalog.get(DatasetKind::VisibleWoman);
-        assert!((jet.nominal_megabytes() - 16.0).abs() < 0.5, "{}", jet.nominal_megabytes());
-        assert!((rage.nominal_megabytes() - 64.0).abs() < 0.5, "{}", rage.nominal_megabytes());
-        assert!((vw.nominal_megabytes() - 108.0).abs() < 0.5, "{}", vw.nominal_megabytes());
+        assert!(
+            (jet.nominal_megabytes() - 16.0).abs() < 0.5,
+            "{}",
+            jet.nominal_megabytes()
+        );
+        assert!(
+            (rage.nominal_megabytes() - 64.0).abs() < 0.5,
+            "{}",
+            rage.nominal_megabytes()
+        );
+        assert!(
+            (vw.nominal_megabytes() - 108.0).abs() < 0.5,
+            "{}",
+            vw.nominal_megabytes()
+        );
         assert!(jet.nominal_bytes() < rage.nominal_bytes());
         assert!(rage.nominal_bytes() < vw.nominal_bytes());
     }

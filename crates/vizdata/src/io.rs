@@ -36,7 +36,10 @@ impl std::fmt::Display for IoError {
         match self {
             IoError::BadHeader(m) => write!(f, "bad container header: {m}"),
             IoError::Truncated { expected, actual } => {
-                write!(f, "truncated container: expected {expected} bytes, got {actual}")
+                write!(
+                    f,
+                    "truncated container: expected {expected} bytes, got {actual}"
+                )
             }
             IoError::BadVariable(m) => write!(f, "bad variable: {m}"),
         }
@@ -149,7 +152,9 @@ impl VolumeContainer {
         for _ in 0..n_vars {
             let name_len = cursor.u32()? as usize;
             if name_len > 4096 {
-                return Err(IoError::BadVariable(format!("name length {name_len} too large")));
+                return Err(IoError::BadVariable(format!(
+                    "name length {name_len} too large"
+                )));
             }
             let name_bytes = cursor.take(name_len)?;
             let name = String::from_utf8(name_bytes.to_vec())

@@ -46,7 +46,9 @@ impl OctreeBlock {
     /// neighbours conceptually; cell counts are computed within the block.
     pub fn cell_count(&self) -> usize {
         let span = |lo: usize, hi: usize| (hi - lo).saturating_sub(1);
-        span(self.min[0], self.max[0]) * span(self.min[1], self.max[1]) * span(self.min[2], self.max[2])
+        span(self.min[0], self.max[0])
+            * span(self.min[1], self.max[1])
+            * span(self.min[2], self.max[2])
     }
 
     /// Whether an isosurface at `isovalue` can pass through this block.
@@ -58,7 +60,9 @@ impl OctreeBlock {
     /// corner falls in (0..8, x-lowest bit).
     pub fn octant(&self, dims: Dims) -> usize {
         let half = |v: usize, n: usize| usize::from(v >= n / 2);
-        half(self.min[0], dims.nx) | (half(self.min[1], dims.ny) << 1) | (half(self.min[2], dims.nz) << 2)
+        half(self.min[0], dims.nx)
+            | (half(self.min[1], dims.ny) << 1)
+            | (half(self.min[2], dims.nz) << 2)
     }
 }
 

@@ -154,7 +154,9 @@ fn sample(kind: VolumeKind, dims: Dims, seed: u64, x: usize, y: usize, z: usize)
                 }
             };
             let body = if r < 0.45 { 0.2 } else { 0.0 };
-            body + band(0.45, 0.02, 0.4) + band(0.3, 0.03, 0.6) + band(0.15, 0.05, 1.0)
+            body + band(0.45, 0.02, 0.4)
+                + band(0.3, 0.03, 0.6)
+                + band(0.15, 0.05, 1.0)
                 + 0.02 * fractal_noise(seed, x, y, z, 2)
         }
     }
@@ -256,7 +258,10 @@ mod tests {
         let f = SyntheticVolume::new(VolumeKind::Jet, Dims::cube(n), 11).generate();
         let axis_mean: f32 = (0..n).map(|z| f.get(n / 2, n / 2, z)).sum::<f32>() / n as f32;
         let edge_mean: f32 = (0..n).map(|z| f.get(0, 0, z)).sum::<f32>() / n as f32;
-        assert!(axis_mean > 2.0 * edge_mean, "axis {axis_mean} edge {edge_mean}");
+        assert!(
+            axis_mean > 2.0 * edge_mean,
+            "axis {axis_mean} edge {edge_mean}"
+        );
     }
 
     #[test]

@@ -98,11 +98,7 @@ impl SessionHub {
         let deadline = std::time::Instant::now() + timeout;
         loop {
             if state.latest_sequence > since {
-                let frame = state
-                    .frames
-                    .iter()
-                    .find(|f| f.sequence > since)
-                    .cloned();
+                let frame = state.frames.iter().find(|f| f.sequence > since).cloned();
                 if frame.is_some() {
                     return frame;
                 }
@@ -190,10 +186,14 @@ mod tests {
         // Capacity 2: only frames 4 and 5 are retained.
         let f = hub.poll_after(0, Duration::from_millis(10)).unwrap();
         assert_eq!(f.cycle, 4);
-        let f = hub.poll_after(f.sequence, Duration::from_millis(10)).unwrap();
+        let f = hub
+            .poll_after(f.sequence, Duration::from_millis(10))
+            .unwrap();
         assert_eq!(f.cycle, 5);
         // Nothing newer than 5: timeout.
-        assert!(hub.poll_after(f.sequence, Duration::from_millis(20)).is_none());
+        assert!(hub
+            .poll_after(f.sequence, Duration::from_millis(20))
+            .is_none());
     }
 
     #[test]
@@ -203,7 +203,10 @@ mod tests {
         let waiter = std::thread::spawn(move || hub2.poll_after(0, Duration::from_secs(5)));
         std::thread::sleep(Duration::from_millis(30));
         hub.publish(frame(9));
-        let got = waiter.join().unwrap().expect("poller should wake with the frame");
+        let got = waiter
+            .join()
+            .unwrap()
+            .expect("poller should wake with the frame");
         assert_eq!(got.cycle, 9);
     }
 

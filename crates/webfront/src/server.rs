@@ -21,7 +21,11 @@ fn base64_encode(data: &[u8]) -> String {
     const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
     let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
     for chunk in data.chunks(3) {
-        let b = [chunk[0], *chunk.get(1).unwrap_or(&0), *chunk.get(2).unwrap_or(&0)];
+        let b = [
+            chunk[0],
+            *chunk.get(1).unwrap_or(&0),
+            *chunk.get(2).unwrap_or(&0),
+        ];
         let n = ((b[0] as u32) << 16) | ((b[1] as u32) << 8) | b[2] as u32;
         out.push(ALPHABET[(n >> 18) as usize & 63] as char);
         out.push(ALPHABET[(n >> 12) as usize & 63] as char);
@@ -65,9 +69,7 @@ impl FrontEndServer {
         let inbox = SteeringInbox::new();
         let route_hub = hub.clone();
         let route_inbox = inbox.clone();
-        let http = HttpServer::start(addr, move |req| {
-            route(&route_hub, &route_inbox, req)
-        })?;
+        let http = HttpServer::start(addr, move |req| route(&route_hub, &route_inbox, req))?;
         Ok(FrontEndServer { http, hub, inbox })
     }
 
@@ -233,7 +235,11 @@ mod tests {
         let resp = route(&hub, &inbox, req);
         assert_eq!(resp.status, 200);
         let queued = inbox.drain_latest().unwrap();
-        assert!(queued.cfl <= 0.9, "cfl must be sanitized, got {}", queued.cfl);
+        assert!(
+            queued.cfl <= 0.9,
+            "cfl must be sanitized, got {}",
+            queued.cfl
+        );
         // Malformed body.
         let bad = HttpRequest {
             method: "POST".into(),

@@ -73,7 +73,11 @@ fn main() {
         let (lo, hi) = filtered.value_range();
         let iso = lo + 0.5 * (hi - lo);
         let surface = extract_isosurface(&filtered, iso, 16);
-        let image = render_mesh(&surface.mesh, &Camera::with_viewport(256, 256), [0.4, 0.7, 0.9]);
+        let image = render_mesh(
+            &surface.mesh,
+            &Camera::with_viewport(256, 256),
+            [0.4, 0.7, 0.9],
+        );
         let path = std::env::temp_dir().join(format!("ricsa_{}.ppm", kind.name().to_lowercase()));
         std::fs::write(&path, image.encode_ppm()).expect("image written");
         println!(

@@ -41,9 +41,11 @@ fn main() {
         // maximum pressure tells the scientist whether the bow shock is
         // forming.
         if let Some(snapshot) = datasets.try_iter().last() {
-            let pressure = snapshot.variable("pressure").expect("pressure is published");
+            let pressure = snapshot
+                .variable("pressure")
+                .expect("pressure is published");
             let max_p = pressure.data.iter().cloned().fold(f32::MIN, f32::max);
-            if server.cycle() % 20 == 0 {
+            if server.cycle().is_multiple_of(20) {
                 println!(
                     "cycle {:>4}  t={:.4}  max pressure = {max_p:.3}",
                     snapshot.cycle, snapshot.time
@@ -80,13 +82,21 @@ fn main() {
     let (lo, hi) = pressure.value_range();
     let iso = lo + 0.6 * (hi - lo);
     let surface = extract_isosurface(pressure, iso, 16);
-    let image = render_mesh(&surface.mesh, &Camera::with_viewport(256, 256), [0.9, 0.6, 0.2]);
+    let image = render_mesh(
+        &surface.mesh,
+        &Camera::with_viewport(256, 256),
+        [0.9, 0.6, 0.2],
+    );
     let path = std::env::temp_dir().join("ricsa_bowshock.ppm");
     std::fs::write(&path, image.encode_ppm()).expect("image written");
     println!(
         "\nFinished after {} cycles; steering {}.",
         server.cycle(),
-        if steered { "was applied" } else { "was not needed" }
+        if steered {
+            "was applied"
+        } else {
+            "was not needed"
+        }
     );
     println!(
         "Final pressure isosurface: {} triangles, rendered to {}",

@@ -28,7 +28,10 @@ fn main() {
     let front_end = FrontEndServer::start("127.0.0.1:8640")
         .or_else(|_| FrontEndServer::start("127.0.0.1:0"))
         .expect("bind the Ajax front end");
-    println!("RICSA Ajax front end listening on http://{}/", front_end.addr());
+    println!(
+        "RICSA Ajax front end listening on http://{}/",
+        front_end.addr()
+    );
     println!("  GET  /api/state   — monitored state as JSON");
     println!("  GET  /api/poll    — long-poll for the next frame");
     println!("  POST /api/steer   — submit steering parameters");
@@ -65,7 +68,7 @@ fn main() {
         // Publish a frame every 5 cycles: extract + render the pressure
         // field and push it to the Ajax hub (only the image component of the
         // page updates).
-        if server.cycle() % 5 == 0 {
+        if server.cycle().is_multiple_of(5) {
             if let Some(snapshot) = datasets.try_iter().last() {
                 let pressure = snapshot.variable("pressure").expect("published variable");
                 let (lo, hi) = pressure.value_range();

@@ -1,0 +1,197 @@
+//! Offline stand-in for `parking_lot`.
+//!
+//! Wraps `std::sync::Mutex`/`Condvar` behind parking_lot's nicer API:
+//! `lock()` returns the guard directly (poisoning is absorbed — a panicked
+//! writer does not wedge every later reader), and `Condvar::wait_for` takes
+//! `&mut MutexGuard` instead of consuming it.
+
+use std::sync::PoisonError;
+use std::time::Duration;
+
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    // `Option` so `Condvar::wait_for` can temporarily take the std guard
+    // (std's wait consumes and returns it); outside that window it is
+    // always `Some`.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: Some(p.into_inner()),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present outside wait")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present outside wait")
+    }
+}
+
+/// Result of a timed condition-variable wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.inner.take().expect("guard present before wait");
+        let g = self.inner.wait(g).unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(g);
+    }
+
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.inner.take().expect("guard present before wait");
+        let (g, result) = self
+            .inner
+            .wait_timeout(g, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(g);
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn wait_for_times_out_without_notification() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let mut guard = pair.0.lock();
+        let res = pair.1.wait_for(&mut guard, Duration::from_millis(20));
+        assert!(res.timed_out());
+        assert!(!*guard);
+    }
+
+    #[test]
+    fn notify_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let waiter = std::thread::spawn(move || {
+            let mut guard = pair2.0.lock();
+            while !*guard {
+                let res = pair2.1.wait_for(&mut guard, Duration::from_secs(5));
+                if res.timed_out() {
+                    return false;
+                }
+            }
+            true
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        *pair.0.lock() = true;
+        pair.1.notify_all();
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn poisoned_lock_is_absorbed() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison the mutex");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7);
+    }
+}

@@ -58,7 +58,12 @@ fn steering_loop_runs_end_to_end_on_fig8() {
         .trace()
         .events
         .iter()
-        .filter(|e| matches!(e.kind, ricsa::netsim::trace::TraceKind::StageCompleted { .. }))
+        .filter(|e| {
+            matches!(
+                e.kind,
+                ricsa::netsim::trace::TraceKind::StageCompleted { .. }
+            )
+        })
         .count();
     assert!(stage_records >= plan.mapping.path.len());
 }
