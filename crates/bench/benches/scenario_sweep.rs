@@ -1,0 +1,96 @@
+//! Criterion benches for the scenario-sweep subsystem: DP scaling (pruned
+//! vs unpruned, relay semantics) on generated Waxman WANs, topology
+//! generation itself, and parallel batch solving.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ricsa_netsim::generators::{transit_stub, waxman, TransitStubParams, WaxmanParams};
+use ricsa_pipemap::dp::{optimize_with, DpOptions};
+use ricsa_pipemap::network::NetGraph;
+use ricsa_pipemap::pipeline::Pipeline;
+use ricsa_pipemap::sweep::{solve_batch, Scenario};
+
+fn pipeline() -> Pipeline {
+    Pipeline::isosurface(16e6, 2e-9, 2.5e-8, 0.35, 6e-9, 1e6)
+}
+
+fn bench_dp_on_generated_wans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_generated");
+    group.sample_size(10);
+    for &nodes in &[50usize, 150, 400] {
+        let wan = waxman(&WaxmanParams::sized(nodes), 7);
+        let graph = NetGraph::from_topology(&wan.topology);
+        let p = pipeline();
+        let (src, dst) = (wan.source.0, wan.client.0);
+        group.bench_with_input(
+            BenchmarkId::new("pruned", nodes),
+            &(&p, &graph),
+            |b, (p, g)| {
+                b.iter(|| optimize_with(p, g, src, dst, &DpOptions::relayed()));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("unpruned", nodes),
+            &(&p, &graph),
+            |b, (p, g)| {
+                b.iter(|| {
+                    optimize_with(
+                        p,
+                        g,
+                        src,
+                        dst,
+                        &DpOptions {
+                            prune: false,
+                            relay: true,
+                        },
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate");
+    group.sample_size(10);
+    for &nodes in &[16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("waxman", nodes), &nodes, |b, &n| {
+            b.iter(|| waxman(&WaxmanParams::sized(n), 11));
+        });
+        group.bench_with_input(BenchmarkId::new("transit_stub", nodes), &nodes, |b, &n| {
+            b.iter(|| transit_stub(&TransitStubParams::sized(n), 11));
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_solving(c: &mut Criterion) {
+    let scenarios: Vec<Scenario> = (0..16u64)
+        .map(|id| {
+            let wan = waxman(&WaxmanParams::sized(24), id);
+            Scenario {
+                id,
+                label: wan.label.clone(),
+                seed: id,
+                pipeline: pipeline(),
+                graph: NetGraph::from_topology(&wan.topology),
+                source: wan.source.0,
+                destination: wan.client.0,
+            }
+        })
+        .collect();
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    group.bench_function("solve_batch/16x24nodes", |b| {
+        b.iter(|| solve_batch(&scenarios));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dp_on_generated_wans,
+    bench_generators,
+    bench_batch_solving
+);
+criterion_main!(benches);

@@ -16,6 +16,8 @@
 //! * [`roles`] — the client/front-end and central-management applications,
 //! * [`session`] — assembling one steering session on a topology,
 //! * [`experiment`] — the Fig. 9 / Fig. 10 experiment drivers,
+//! * [`sweep`] — the scenario-sweep driver evaluating the optimizer across
+//!   generated WAN families (see DESIGN.md §6),
 //! * [`api`] — the `Ricsa*` simulation-side API mirroring the six calls the
 //!   paper inserts into VH1 (Fig. 7), used by the web front end and the
 //!   examples to steer a live in-process simulation.
@@ -27,6 +29,7 @@ pub mod message;
 pub mod roles;
 pub mod session;
 pub mod stage;
+pub mod sweep;
 
 pub use api::{SimulationCommand, SimulationServer, SimulationStatus};
 pub use catalog::{standard_pipeline, SessionSpec, SimulationCatalog};
@@ -35,3 +38,4 @@ pub use experiment::{
 };
 pub use message::ControlMessage;
 pub use session::{SessionPlan, SteeringSession};
+pub use sweep::{format_sweep_report, run_sweep, ScenarioOutcome, SweepConfig, SweepReport};

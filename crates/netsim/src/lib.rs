@@ -46,9 +46,12 @@
 //! sim.run_until(SimTime::from_secs(1.0));
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod app;
 pub mod crosstraffic;
 pub mod event;
+pub mod generators;
 pub mod link;
 pub mod loss;
 pub mod node;
@@ -65,6 +68,7 @@ pub mod trace;
 pub mod prelude {
     pub use crate::app::{Application, Context};
     pub use crate::crosstraffic::CrossTraffic;
+    pub use crate::generators::{GeneratedWan, WanKind};
     pub use crate::link::{LinkId, LinkSpec};
     pub use crate::loss::LossModel;
     pub use crate::node::{NodeId, NodeSpec};

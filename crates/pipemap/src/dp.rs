@@ -10,16 +10,28 @@
 //! argmin pointers yields the group decomposition and the routing path.
 //! The running time is `O(n · |E|)`, which is the paper's complexity claim.
 //!
-//! Two small extensions over the paper's formulation, both noted in
-//! DESIGN.md: the base case also allows placing the first processing module
-//! on the source node itself (needed to express the paper's own PC–PC
-//! experiments, where isosurface extraction runs on the data-source host),
-//! and a per-module feasibility predicate (graphics capability) is enforced
-//! exactly as Section 4.5 describes ("the scenario with failed feasibility
-//! check is simply discarded").
+//! Extensions over the paper's formulation, all noted in DESIGN.md:
+//!
+//! * the base case also allows placing the first processing module on the
+//!   source node itself (needed to express the paper's own PC–PC
+//!   experiments, where isosurface extraction runs on the data-source host);
+//! * a per-module feasibility predicate (graphics capability) is enforced
+//!   exactly as Section 4.5 describes ("the scenario with failed feasibility
+//!   check is simply discarded");
+//! * optional **dominance pruning** ([`DpOptions::prune`]) discards states
+//!   that provably cannot lie on an optimal walk, without changing the
+//!   optimum (DESIGN.md §6.3 gives the argument);
+//! * optional **relay hops** ([`DpOptions::relay`]): between two module
+//!   placements the message may traverse a chain of pure-forwarding nodes.
+//!   The paper's recursion crosses exactly one link per message, so on
+//!   sparse wide-area topologies (trees, transit-stub graphs) a destination
+//!   more than `n` hops from the source is unreachable; the relay extension
+//!   closes each DP layer under minimum-cost forwarding, which makes every
+//!   connected instance feasible.  It is off by default — the default
+//!   semantics stay exactly the paper's.
 
 use crate::delay::{evaluate_mapping, DelayBreakdown, Mapping};
-use crate::network::NetGraph;
+use crate::network::{dijkstra, EdgeDir, NetGraph};
 use crate::pipeline::Pipeline;
 use serde::{Deserialize, Serialize};
 
@@ -35,9 +47,52 @@ pub struct OptimizedMapping {
     pub objective: f64,
 }
 
+/// Options controlling the dynamic-programming solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DpOptions {
+    /// Enable dominance pruning.  Pruning is exact — it never changes the
+    /// optimal objective — and is on by default; turn it off only for
+    /// cross-checks and benchmarks.
+    pub prune: bool,
+    /// Allow pure-forwarding relay hops between module placements (off by
+    /// default: the paper's recursion crosses exactly one link per message).
+    pub relay: bool,
+}
+
+impl Default for DpOptions {
+    fn default() -> Self {
+        DpOptions {
+            prune: true,
+            relay: false,
+        }
+    }
+}
+
+impl DpOptions {
+    /// Relay-extended semantics with pruning, used by the scenario sweeps
+    /// whose generated WANs are too sparse for single-link message hops.
+    pub fn relayed() -> Self {
+        DpOptions {
+            prune: true,
+            relay: true,
+        }
+    }
+}
+
+/// Work counters reported by [`optimize_with`], used by the scaling
+/// benchmarks to quantify what pruning saves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DpStats {
+    /// States `(module, node)` whose outgoing relaxations were performed.
+    pub states_expanded: u64,
+    /// States discarded by the dominance bound before relaxation.
+    pub states_pruned: u64,
+}
+
 /// Optimize the placement of `pipeline` onto `graph` from `source` to
-/// `destination`.  Returns `None` when no feasible placement exists (e.g.
-/// the destination is unreachable or a graphics-requiring module cannot be
+/// `destination` with default options (pruning on, paper-faithful walk
+/// semantics).  Returns `None` when no feasible placement exists (e.g. the
+/// destination is unreachable or a graphics-requiring module cannot be
 /// placed anywhere along any walk).
 pub fn optimize(
     pipeline: &Pipeline,
@@ -45,15 +100,222 @@ pub fn optimize(
     source: usize,
     destination: usize,
 ) -> Option<OptimizedMapping> {
+    optimize_with(pipeline, graph, source, destination, &DpOptions::default()).0
+}
+
+/// Pruning context: lower bounds on what any completion must still pay, and
+/// the cheapest known feasible completion (the upper bound).
+struct Pruner {
+    /// `suffix_min_proc[j]` = Σ_{k≥j} min over feasible nodes of module
+    /// `k`'s processing time — a lower bound on the remaining computing.
+    suffix_min_proc: Vec<f64>,
+    /// `tail_at_destination[j]` = cost of running modules `j..` all on the
+    /// destination (∞ if one of them is infeasible there).
+    tail_at_destination: Vec<f64>,
+    /// `m_floor[j]` = the smallest message the pipeline can still emit from
+    /// layer `j` on (suffix minimum of the remaining message sizes plus the
+    /// finished image).
+    m_floor: Vec<f64>,
+    /// Lazily built transport lower bounds, keyed by floor size: the
+    /// shortest distance from every node to the destination where crossing
+    /// a link costs `transfer_time(floor)`.  Valid because every remaining
+    /// link crossing carries some message of at least that size.  Built on
+    /// first use — no table exists before the upper bound turns finite,
+    /// and suffix minima repeat, so only a handful are ever computed.
+    lb_cache: Vec<(f64, Vec<f64>)>,
+    /// Cheapest known complete feasible solution.
+    upper_bound: f64,
+}
+
+impl Pruner {
+    /// Build the bounds; `None` means some module is feasible nowhere (the
+    /// instance has no placement at all).
+    fn build(
+        pipeline: &Pipeline,
+        graph: &NetGraph,
+        destination: usize,
+        feasible: &impl Fn(usize, usize) -> bool,
+    ) -> Option<Pruner> {
+        let n_modules = pipeline.message_count();
+        let n_nodes = graph.node_count();
+        let mut suffix_min_proc = vec![0.0; n_modules + 1];
+        let mut tail_at_destination = vec![0.0; n_modules + 1];
+        for j in (0..n_modules).rev() {
+            let min_proc = (0..n_nodes)
+                .filter(|&v| feasible(j, v))
+                .map(|v| pipeline.processing_time(j, graph.node(v).power))
+                .fold(f64::INFINITY, f64::min);
+            if !min_proc.is_finite() {
+                return None;
+            }
+            suffix_min_proc[j] = suffix_min_proc[j + 1] + min_proc;
+            tail_at_destination[j] = if feasible(j, destination) {
+                tail_at_destination[j + 1]
+                    + pipeline.processing_time(j, graph.node(destination).power)
+            } else {
+                f64::INFINITY
+            };
+        }
+        // Smallest message that can still cross a link from layer j on:
+        // the inputs of the remaining modules, plus the finished image
+        // (which relay mode may still forward; including it in walk mode
+        // only weakens the bound, never invalidates it).
+        let trailing = pipeline
+            .modules
+            .last()
+            .expect("pipelines are non-empty")
+            .output_bytes;
+        let mut m_floor = vec![trailing; n_modules + 1];
+        for j in (0..n_modules).rev() {
+            m_floor[j] = m_floor[j + 1].min(pipeline.input_bytes(j));
+        }
+        Some(Pruner {
+            suffix_min_proc,
+            tail_at_destination,
+            m_floor,
+            lb_cache: Vec::new(),
+            upper_bound: f64::INFINITY,
+        })
+    }
+
+    /// The transport lower-bound table for `layer`, built on first use.
+    fn transport_lb(&mut self, graph: &NetGraph, destination: usize, layer: usize) -> &[f64] {
+        let floor = self.m_floor[layer];
+        if let Some(i) = self.lb_cache.iter().position(|(b, _)| *b == floor) {
+            return &self.lb_cache[i].1;
+        }
+        let table = message_distance_to(graph, destination, floor);
+        self.lb_cache.push((floor, table));
+        &self.lb_cache.last().expect("just pushed").1
+    }
+
+    /// True when a state at `node` with modules `..layer` placed and cost
+    /// `cost` provably cannot complete better than the upper bound.  The
+    /// bound gets a one-part-in-10¹² slack: the upper bound sums the same
+    /// terms as the recursion in a different association order, so without
+    /// slack an optimal state could lose to its own completion by an ulp.
+    fn dominated(
+        &mut self,
+        graph: &NetGraph,
+        destination: usize,
+        cost: f64,
+        layer: usize,
+        node: usize,
+    ) -> bool {
+        if !self.upper_bound.is_finite() {
+            // Nothing can be dominated yet; skip building any bound table.
+            return false;
+        }
+        let upper_bound = self.upper_bound;
+        let slack = 1e-12 * upper_bound.abs().max(1.0);
+        let suffix = self.suffix_min_proc[layer];
+        cost + suffix + self.transport_lb(graph, destination, layer)[node] > upper_bound + slack
+    }
+
+    /// Tighten the upper bound with the completion "finish every remaining
+    /// module on the destination" from the given destination cost.
+    fn observe_destination(&mut self, cost_at_destination: f64, next_layer: usize) {
+        if cost_at_destination.is_finite() {
+            self.upper_bound = self
+                .upper_bound
+                .min(cost_at_destination + self.tail_at_destination[next_layer]);
+        }
+    }
+}
+
+/// Shortest distance from every node to `destination` along directed links,
+/// where crossing a link costs `transfer_time(bytes)`: a lower bound on
+/// the remaining transport cost of any completion whose messages are all
+/// at least `bytes` large.
+fn message_distance_to(graph: &NetGraph, destination: usize, bytes: f64) -> Vec<f64> {
+    let mut init = vec![f64::INFINITY; graph.node_count()];
+    init[destination] = 0.0;
+    let (dist, _) = dijkstra(
+        graph,
+        &init,
+        EdgeDir::Incoming,
+        |link| link.transfer_time(bytes),
+        |_, _| true,
+    );
+    dist
+}
+
+/// [`optimize`] with explicit [`DpOptions`], also returning work counters.
+///
+/// # Dominance pruning
+///
+/// With `options.prune` the solver maintains an upper bound `U` (the
+/// cheapest known *feasible completion*: reach the destination after some
+/// prefix of modules and run every remaining module there) and a per-state
+/// lower bound `L(j, v) = cost(j, v) + Σ_{k>j} min_u proc(k, u) +
+/// transport_lb(j, v → v_d)` (shortest path to the destination charging
+/// each link the smallest message the pipeline can still emit).  Both
+/// suffix terms truly lower-bound any
+/// completion's remaining cost, so a state with `L > U` cannot lie on an
+/// optimal walk and is discarded before its relaxations.  Pruning uses a
+/// strict inequality, so at least one optimal solution always survives and
+/// the returned objective is **identical** to the unpruned recursion's (the
+/// cross-check tests assert this exactly).
+pub fn optimize_with(
+    pipeline: &Pipeline,
+    graph: &NetGraph,
+    source: usize,
+    destination: usize,
+    options: &DpOptions,
+) -> (Option<OptimizedMapping>, DpStats) {
+    let mut stats = DpStats::default();
     let n_modules = pipeline.message_count();
     let n_nodes = graph.node_count();
     if n_modules == 0 || source >= n_nodes || destination >= n_nodes {
-        return None;
+        return (None, stats);
     }
-
     let feasible = |module: usize, node: usize| -> bool {
         !pipeline.modules[module].needs_graphics || graph.node(node).has_graphics
     };
+    let mut pruner = if options.prune {
+        match Pruner::build(pipeline, graph, destination, &feasible) {
+            Some(p) => Some(p),
+            // Some module is feasible nowhere: no placement exists.
+            None => return (None, stats),
+        }
+    } else {
+        None
+    };
+    if options.relay {
+        relay_dp(
+            pipeline,
+            graph,
+            source,
+            destination,
+            &feasible,
+            pruner.as_mut(),
+            &mut stats,
+        )
+    } else {
+        walk_dp(
+            pipeline,
+            graph,
+            source,
+            destination,
+            &feasible,
+            pruner.as_mut(),
+            &mut stats,
+        )
+    }
+}
+
+/// The paper-faithful recursion: each message crosses at most one link.
+fn walk_dp(
+    pipeline: &Pipeline,
+    graph: &NetGraph,
+    source: usize,
+    destination: usize,
+    feasible: &impl Fn(usize, usize) -> bool,
+    mut pruner: Option<&mut Pruner>,
+    stats: &mut DpStats,
+) -> (Option<OptimizedMapping>, DpStats) {
+    let n_modules = pipeline.message_count();
+    let n_nodes = graph.node_count();
 
     // cost[j][v] = T^{j+1}(v) (0-based j over modules).
     let mut cost = vec![vec![f64::INFINITY; n_nodes]; n_modules];
@@ -75,37 +337,62 @@ pub fn optimize(
             parent[0][v] = source;
         }
     }
+    if let Some(p) = pruner.as_deref_mut() {
+        p.observe_destination(cost[0][destination], 1);
+    }
 
-    // Recursion over the remaining modules.
+    // Recursion over the remaining modules, relaxing push-style out of each
+    // live predecessor state so pruned states cost nothing.
     for j in 1..n_modules {
         let message_bytes = pipeline.input_bytes(j);
-        for v in 0..n_nodes {
-            if !feasible(j, v) {
+        let proc: Vec<f64> = (0..n_nodes)
+            .map(|v| pipeline.processing_time(j, graph.node(v).power))
+            .collect();
+        let module_feasible: Vec<bool> = (0..n_nodes).map(|v| feasible(j, v)).collect();
+        let (prev_layers, rest) = cost.split_at_mut(j);
+        let prev = &prev_layers[j - 1];
+        let next = &mut rest[0];
+        for u in 0..n_nodes {
+            if !prev[u].is_finite() {
                 continue;
             }
-            let proc = pipeline.processing_time(j, graph.node(v).power);
-            // Sub-case 1: inherit (module j stays on the same node as j-1).
-            let mut best = cost[j - 1][v] + proc;
-            let mut best_parent = v;
-            // Sub-case 2: pull the message across an incoming link.
-            for &lid in graph.incoming_links(v) {
-                let link = graph.link(lid);
-                let candidate = cost[j - 1][link.from] + proc + link.transfer_time(message_bytes);
-                if candidate < best {
-                    best = candidate;
-                    best_parent = link.from;
+            if let Some(p) = pruner.as_deref_mut() {
+                if p.dominated(graph, destination, prev[u], j, u) {
+                    stats.states_pruned += 1;
+                    continue;
                 }
             }
-            if best.is_finite() {
-                cost[j][v] = best;
-                parent[j][v] = best_parent;
+            stats.states_expanded += 1;
+            // Sub-case 1: inherit (module j stays on the same node as j-1).
+            if module_feasible[u] {
+                let candidate = prev[u] + proc[u];
+                if candidate < next[u] {
+                    next[u] = candidate;
+                    parent[j][u] = u;
+                }
             }
+            // Sub-case 2: push the message across an outgoing link.
+            for &lid in graph.outgoing_links(u) {
+                let link = graph.link(lid);
+                let v = link.to;
+                if !module_feasible[v] {
+                    continue;
+                }
+                let candidate = prev[u] + proc[v] + link.transfer_time(message_bytes);
+                if candidate < next[v] {
+                    next[v] = candidate;
+                    parent[j][v] = u;
+                }
+            }
+        }
+        if let Some(p) = pruner.as_deref_mut() {
+            p.observe_destination(cost[j][destination], j + 1);
         }
     }
 
     let objective = cost[n_modules - 1][destination];
     if !objective.is_finite() {
-        return None;
+        return (None, *stats);
     }
 
     // Backtrack the node hosting each module.
@@ -135,19 +422,180 @@ pub fn optimize(
             .push(module);
     }
 
+    finish(pipeline, graph, path, groups, objective, stats)
+}
+
+/// The relay-extended recursion: before each module placement (and after
+/// the last one) the current message may traverse a minimum-cost chain of
+/// pure-forwarding nodes.  Implemented as a multi-source Dijkstra closure
+/// of each DP layer with edge weight `transfer_time(message)`.
+fn relay_dp(
+    pipeline: &Pipeline,
+    graph: &NetGraph,
+    source: usize,
+    destination: usize,
+    feasible: &impl Fn(usize, usize) -> bool,
+    mut pruner: Option<&mut Pruner>,
+    stats: &mut DpStats,
+) -> (Option<OptimizedMapping>, DpStats) {
+    let n_modules = pipeline.message_count();
+    let n_nodes = graph.node_count();
+
+    let mut cost: Vec<Vec<f64>> = Vec::with_capacity(n_modules);
+    // relay_parent[j][v]: predecessor of v in the relay chain that carried
+    // message m_j towards module j's host (MAX at the chain's seed).
+    let mut relay_parent: Vec<Vec<usize>> = Vec::with_capacity(n_modules);
+
+    let mut seed = vec![f64::INFINITY; n_nodes];
+    seed[source] = 0.0;
+    for j in 0..n_modules {
+        let (closed, rp) = relay_closure(
+            graph,
+            &seed,
+            pipeline.input_bytes(j),
+            j,
+            destination,
+            pruner.as_deref_mut(),
+            stats,
+        );
+        let mut layer = vec![f64::INFINITY; n_nodes];
+        for v in 0..n_nodes {
+            if feasible(j, v) && closed[v].is_finite() {
+                layer[v] = closed[v] + pipeline.processing_time(j, graph.node(v).power);
+            }
+        }
+        if let Some(p) = pruner.as_deref_mut() {
+            p.observe_destination(layer[destination], j + 1);
+        }
+        seed = layer.clone();
+        cost.push(layer);
+        relay_parent.push(rp);
+    }
+    // The finished image may still be forwarded to the client.
+    let trailing_bytes = pipeline
+        .modules
+        .last()
+        .expect("pipelines are non-empty")
+        .output_bytes;
+    let (final_closure, final_rp) = relay_closure(
+        graph,
+        &cost[n_modules - 1],
+        trailing_bytes,
+        n_modules,
+        destination,
+        pruner,
+        stats,
+    );
+    let objective = final_closure[destination];
+    if !objective.is_finite() {
+        return (None, *stats);
+    }
+
+    // Backtrack: find each module's host by walking the relay chains from
+    // the destination backwards.
+    let chain_of = |rp: &[usize], end: usize| -> Vec<usize> {
+        let mut chain = vec![end];
+        let mut at = end;
+        while rp[at] != usize::MAX {
+            at = rp[at];
+            chain.push(at);
+        }
+        chain.reverse(); // seed .. end
+        chain
+    };
+    let mut hosts = vec![0usize; n_modules];
+    hosts[n_modules - 1] = chain_of(&final_rp, destination)[0];
+    for j in (1..n_modules).rev() {
+        hosts[j - 1] = chain_of(&relay_parent[j], hosts[j])[0];
+    }
+
+    // Assemble the walk: relay nodes carry empty groups.
+    let mut path: Vec<usize> = Vec::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let push_node = |path: &mut Vec<usize>, groups: &mut Vec<Vec<usize>>, node: usize| {
+        if path.last() != Some(&node) {
+            path.push(node);
+            groups.push(Vec::new());
+        }
+    };
+    for (j, &host) in hosts.iter().enumerate() {
+        for node in chain_of(&relay_parent[j], host) {
+            push_node(&mut path, &mut groups, node);
+        }
+        groups
+            .last_mut()
+            .expect("path is non-empty by construction")
+            .push(j);
+    }
+    for node in chain_of(&final_rp, destination) {
+        push_node(&mut path, &mut groups, node);
+    }
+
+    finish(pipeline, graph, path, groups, objective, stats)
+}
+
+/// Multi-source Dijkstra closure: starting from per-node costs `seed`,
+/// the cheapest cost of having the message of size `bytes` available at
+/// every node after any chain of forwarding hops.  `layer` is the index of
+/// the next module to place (used by the pruning bound).
+fn relay_closure(
+    graph: &NetGraph,
+    seed: &[f64],
+    bytes: f64,
+    layer: usize,
+    destination: usize,
+    mut pruner: Option<&mut Pruner>,
+    stats: &mut DpStats,
+) -> (Vec<f64>, Vec<usize>) {
+    // Extraction-time dominance: any solution whose relay chain passes
+    // through a settled node at this layer costs at least its distance plus
+    // the remaining lower bounds, so a dominated node need not relax out —
+    // chains through it are provably not optimal.
+    dijkstra(
+        graph,
+        seed,
+        EdgeDir::Outgoing,
+        |link| link.transfer_time(bytes),
+        |u, d| {
+            if let Some(p) = pruner.as_deref_mut() {
+                if p.dominated(graph, destination, d, layer, u) {
+                    stats.states_pruned += 1;
+                    return false;
+                }
+            }
+            stats.states_expanded += 1;
+            true
+        },
+    )
+}
+
+/// Shared tail: wrap a backtracked walk into an [`OptimizedMapping`].
+fn finish(
+    pipeline: &Pipeline,
+    graph: &NetGraph,
+    path: Vec<usize>,
+    groups: Vec<Vec<usize>>,
+    objective: f64,
+    stats: &mut DpStats,
+) -> (Option<OptimizedMapping>, DpStats) {
     let mapping = Mapping { path, groups };
     let delay = evaluate_mapping(pipeline, graph, &mapping);
-    Some(OptimizedMapping {
-        mapping,
-        delay,
-        objective,
-    })
+    (
+        Some(OptimizedMapping {
+            mapping,
+            delay,
+            objective,
+        }),
+        *stats,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::delay::validate_mapping;
     use crate::pipeline::ModuleSpec;
+    use crate::testutil::{random_instance, XorShift};
 
     /// The three-stage pipeline and three-node network from the delay tests:
     /// a weak source, a powerful middle node, and the client.
@@ -269,6 +717,14 @@ mod tests {
         // Out-of-range nodes.
         let (_, g3) = setup();
         assert!(optimize(&p, &g3, 0, 99).is_none());
+        // The same instances are infeasible in every option combination.
+        for prune in [false, true] {
+            for relay in [false, true] {
+                let opts = DpOptions { prune, relay };
+                assert!(optimize_with(&p, &g, a, b, &opts).0.is_none());
+                assert!(optimize_with(&p, &g2, 0, 1, &opts).0.is_none());
+            }
+        }
     }
 
     #[test]
@@ -324,5 +780,155 @@ mod tests {
             .collect();
         assert!(delays[0] < delays[1]);
         assert!(delays[1] < delays[2]);
+    }
+
+    /// Dominance pruning must never change the optimum — in either walk or
+    /// relay semantics.  Seeded, so every run checks the same instances.
+    #[test]
+    fn pruned_dp_equals_unpruned_dp_on_random_instances() {
+        for relay in [false, true] {
+            let mut feasible = 0;
+            let mut pruned_any = false;
+            for seed in 0u64..40 {
+                let mut rng = XorShift::new(seed.wrapping_add(1000));
+                let n_nodes = rng.index(4, 14);
+                let n_modules = rng.index(2, 7);
+                let density = 0.2 + 0.7 * rng.next();
+                let (pipeline, g) = random_instance(&mut rng, n_nodes, n_modules, density);
+                let pruned_opts = DpOptions { prune: true, relay };
+                let unpruned_opts = DpOptions {
+                    prune: false,
+                    relay,
+                };
+                let (pruned, pstats) = optimize_with(&pipeline, &g, 0, n_nodes - 1, &pruned_opts);
+                let (unpruned, ustats) =
+                    optimize_with(&pipeline, &g, 0, n_nodes - 1, &unpruned_opts);
+                assert_eq!(ustats.states_pruned, 0);
+                pruned_any |= pstats.states_pruned > 0;
+                match (pruned, unpruned) {
+                    (Some(p), Some(u)) => {
+                        feasible += 1;
+                        assert_eq!(
+                            p.objective, u.objective,
+                            "relay={relay} seed {seed}: pruned {} != unpruned {}",
+                            p.objective, u.objective
+                        );
+                        assert!((p.delay.total - u.delay.total).abs() <= 1e-9 * u.delay.total);
+                        assert!(validate_mapping(&pipeline, &g, &p.mapping).is_ok());
+                    }
+                    (None, None) => {}
+                    (p, u) => panic!(
+                        "relay={relay} seed {seed}: feasibility mismatch: pruned={:?} unpruned={:?}",
+                        p.is_some(),
+                        u.is_some()
+                    ),
+                }
+            }
+            assert!(feasible >= 30, "only {feasible}/40 instances were feasible");
+            assert!(
+                pruned_any,
+                "relay={relay}: pruning never fired — the bound is vacuous"
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_skips_work_on_a_large_sparse_instance() {
+        let mut rng = XorShift::new(77);
+        let (pipeline, g) = random_instance(&mut rng, 120, 4, 0.02);
+        let (pruned, pstats) = optimize_with(&pipeline, &g, 0, 119, &DpOptions::relayed());
+        let (unpruned, ustats) = optimize_with(
+            &pipeline,
+            &g,
+            0,
+            119,
+            &DpOptions {
+                prune: false,
+                relay: true,
+            },
+        );
+        let (p, u) = (pruned.unwrap(), unpruned.unwrap());
+        assert_eq!(p.objective, u.objective);
+        assert!(
+            pstats.states_expanded < ustats.states_expanded,
+            "pruned {} !< unpruned {}",
+            pstats.states_expanded,
+            ustats.states_expanded
+        );
+        assert!(pstats.states_pruned > 0);
+    }
+
+    #[test]
+    fn relay_mode_reaches_destinations_beyond_the_module_count() {
+        // A 6-node chain with a 2-module pipeline: the paper's walk
+        // semantics cannot bridge 5 hops with 2 messages, the relay
+        // extension can.
+        let p = Pipeline::new(
+            "short",
+            1e6,
+            vec![
+                ModuleSpec::new("a", 1e-8, 1e5),
+                ModuleSpec::new("b", 1e-8, 1e4),
+            ],
+        );
+        let mut g = NetGraph::new();
+        for i in 0..6 {
+            g.add_node(format!("n{i}"), 1.0, true);
+            if i > 0 {
+                g.add_bidirectional(i - 1, i, 1e6, 0.01);
+            }
+        }
+        assert!(optimize(&p, &g, 0, 5).is_none());
+        let (relayed, _) = optimize_with(&p, &g, 0, 5, &DpOptions::relayed());
+        let relayed = relayed.unwrap();
+        assert_eq!(*relayed.mapping.path.first().unwrap(), 0);
+        assert_eq!(*relayed.mapping.path.last().unwrap(), 5);
+        assert!(validate_mapping(&p, &g, &relayed.mapping).is_ok());
+        // Relay hops appear as empty groups.
+        assert!(relayed.mapping.groups.iter().any(|grp| grp.is_empty()));
+    }
+
+    #[test]
+    fn relay_mode_delivers_the_image_from_an_off_path_gpu() {
+        // src - gpu - dst where only the middle node can render: walk
+        // semantics place render at `gpu` only if it is the last hop; with
+        // a headless destination the relay extension must still deliver.
+        let p = Pipeline::new(
+            "render-only",
+            1e6,
+            vec![ModuleSpec::new("render", 1e-8, 1e4).requiring_graphics()],
+        );
+        let mut g = NetGraph::new();
+        let s = g.add_node("src", 1.0, false);
+        let gpu = g.add_node("gpu", 4.0, true);
+        let d = g.add_node("dst", 1.0, false);
+        g.add_bidirectional(s, gpu, 1e6, 0.01);
+        g.add_bidirectional(gpu, d, 1e6, 0.01);
+        assert!(optimize(&p, &g, s, d).is_none());
+        let (relayed, _) = optimize_with(&p, &g, s, d, &DpOptions::relayed());
+        let relayed = relayed.unwrap();
+        assert_eq!(relayed.mapping.path, vec![s, gpu, d]);
+        assert_eq!(relayed.mapping.groups, vec![vec![], vec![0], vec![]]);
+    }
+
+    #[test]
+    fn relay_mode_never_worsens_the_walk_optimum() {
+        for seed in 0u64..20 {
+            let mut rng = XorShift::new(seed.wrapping_add(4000));
+            let n_nodes = rng.index(4, 10);
+            let n_modules = rng.index(2, 5);
+            let (pipeline, g) = random_instance(&mut rng, n_nodes, n_modules, 0.5);
+            let walk = optimize(&pipeline, &g, 0, n_nodes - 1);
+            let (relayed, _) = optimize_with(&pipeline, &g, 0, n_nodes - 1, &DpOptions::relayed());
+            if let Some(w) = walk {
+                let r = relayed.expect("relay space is a superset");
+                assert!(
+                    r.objective <= w.objective + 1e-9,
+                    "seed {seed}: relay {} worse than walk {}",
+                    r.objective,
+                    w.objective
+                );
+            }
+        }
     }
 }

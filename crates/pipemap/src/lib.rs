@@ -20,18 +20,26 @@
 //! is turned into the visualization routing table circulated around the
 //! RICSA loop ([`vrt`]).
 
+#![deny(missing_docs)]
+
 pub mod baselines;
 pub mod delay;
 pub mod dp;
 pub mod exhaustive;
 pub mod network;
 pub mod pipeline;
+pub mod sweep;
+#[cfg(test)]
+pub(crate) mod testutil;
 pub mod vrt;
 
 pub use baselines::{client_server_mapping, greedy_mapping, paraview_crs_mapping};
 pub use delay::{evaluate_mapping, DelayBreakdown};
-pub use dp::{optimize, OptimizedMapping};
+pub use dp::{optimize, optimize_with, DpOptions, DpStats, OptimizedMapping};
 pub use exhaustive::exhaustive_optimal;
 pub use network::{NetGraph, NetLink, NetNode};
 pub use pipeline::{ModuleSpec, Pipeline};
+pub use sweep::{
+    solve_batch, solve_scenario, Scenario, ScenarioSolution, SweepRecord, SweepSummary,
+};
 pub use vrt::{RoutingEntry, VisualizationRoutingTable};

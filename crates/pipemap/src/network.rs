@@ -202,6 +202,102 @@ impl NetGraph {
     }
 }
 
+/// Which way a [`dijkstra`] traversal follows the directed links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EdgeDir {
+    /// Relax along outgoing links (distances *from* the seeds).
+    Outgoing,
+    /// Relax along incoming links in reverse (distances *to* the seeds).
+    Incoming,
+}
+
+/// Min-heap entry (reverse order on distance, tie-broken by node id for
+/// determinism; a NaN distance never enters the heap because `dijkstra`
+/// only pushes finite candidates).
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The one Dijkstra shared by the DP's relay closure and transport lower
+/// bounds and the sweep's default-route baseline — a single place for the
+/// heap, the stale-entry test and the non-negative-weight guard, so the
+/// traversals cannot drift apart.
+///
+/// `init[v]` is node `v`'s seed distance (use `f64::INFINITY` for
+/// non-seeds).  `weight` prices one link; negative prices are clamped to
+/// zero.  `expand(node, dist)` is called once per settled node — return
+/// `false` to keep the node settled but skip relaxing out of it (the DP's
+/// dominance pruning).  Returns `(dist, parent)`, with `parent[v] =
+/// usize::MAX` for unreached nodes and seeds.
+pub(crate) fn dijkstra(
+    graph: &NetGraph,
+    init: &[f64],
+    dir: EdgeDir,
+    weight: impl Fn(&NetLink) -> f64,
+    mut expand: impl FnMut(usize, f64) -> bool,
+) -> (Vec<f64>, Vec<usize>) {
+    let n = graph.node_count();
+    let mut dist = init.to_vec();
+    let mut parent = vec![usize::MAX; n];
+    let mut done = vec![false; n];
+    let mut heap = std::collections::BinaryHeap::new();
+    for (v, &d) in dist.iter().enumerate() {
+        if d.is_finite() {
+            heap.push(HeapEntry { dist: d, node: v });
+        }
+    }
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if done[u] || d > dist[u] {
+            continue;
+        }
+        done[u] = true;
+        if !expand(u, dist[u]) {
+            continue;
+        }
+        let links = match dir {
+            EdgeDir::Outgoing => graph.outgoing_links(u),
+            EdgeDir::Incoming => graph.incoming_links(u),
+        };
+        for &lid in links {
+            let link = graph.link(lid);
+            let next = match dir {
+                EdgeDir::Outgoing => link.to,
+                EdgeDir::Incoming => link.from,
+            };
+            let cand = dist[u] + weight(link).max(0.0);
+            if cand < dist[next] {
+                dist[next] = cand;
+                parent[next] = u;
+                heap.push(HeapEntry {
+                    dist: cand,
+                    node: next,
+                });
+            }
+        }
+    }
+    (dist, parent)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

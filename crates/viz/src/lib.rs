@@ -11,7 +11,7 @@
 //!   per-cell classification into the canonical 15 marching-cubes case
 //!   classes (computed by symmetry reduction in [`cell`]) and tetrahedral
 //!   triangulation,
-//! * [`raycast`] — orthographic ray casting with piecewise-linear transfer
+//! * [`mod@raycast`] — orthographic ray casting with piecewise-linear transfer
 //!   functions ([`transfer`]) and empty-block skipping,
 //! * [`streamline`] — fourth-order Runge–Kutta streamline advection,
 //! * [`render`] — a software z-buffer rasterizer turning triangle meshes

@@ -254,6 +254,23 @@ macro_rules! criterion_main {
     };
 }
 
+/// Standalone timing helper for benchmark *binaries* (not Criterion
+/// benches): measure the median wall-clock time of one call to `routine`
+/// using exactly the warm-up + calibrated-iteration sampling the
+/// [`Bencher`] harness uses, so numbers printed by bins are comparable
+/// with `cargo bench` output across runs.
+pub fn time_per_call<O, F: FnMut() -> O>(sample_size: usize, mut routine: F) -> Duration {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size: sample_size.max(1),
+        test_mode: false,
+    };
+    bencher.iter(&mut routine);
+    let mut sorted = bencher.samples;
+    sorted.sort();
+    sorted[sorted.len() / 2]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,6 +294,17 @@ mod tests {
         let id = BenchmarkId::new("f", 32);
         assert_eq!(id.to_string(), "f/32");
         assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+
+    #[test]
+    fn time_per_call_returns_a_positive_median() {
+        let mut n = 0u64;
+        let d = time_per_call(3, || {
+            n += 1;
+            black_box(n)
+        });
+        assert!(d > Duration::ZERO);
+        assert!(n > 0);
     }
 
     #[test]

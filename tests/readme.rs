@@ -1,0 +1,110 @@
+//! Keep README.md honest: every command it shows must reference artifacts
+//! that exist, the crate map must cover the workspace, and the quickstart
+//! snippet must match a runnable example (which this test executes
+//! end-to-end through the library, mirroring `examples/quickstart.rs`).
+
+use ricsa::core::catalog::SimulationCatalog;
+use ricsa::core::session::{PathChoice, SteeringSession};
+use ricsa::netsim::presets::{fig8_topology, Fig8Site};
+use ricsa::netsim::sim::Simulator;
+use ricsa::netsim::time::SimTime;
+use std::path::Path;
+
+fn readme() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("README.md");
+    std::fs::read_to_string(path).expect("README.md exists at the workspace root")
+}
+
+/// Every `--example NAME` / `--bin NAME` mentioned in README commands must
+/// exist as a source file, so the snippets cannot silently rot.
+#[test]
+fn readme_commands_reference_existing_artifacts() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let text = readme();
+    let words: Vec<&str> = text.split_whitespace().collect();
+    let mut checked = 0;
+    for (i, word) in words.iter().enumerate() {
+        let (dir, what) = match *word {
+            "--example" => ("examples", "example"),
+            "--bin" => ("crates/bench/src/bin", "bench binary"),
+            _ => continue,
+        };
+        let name = words
+            .get(i + 1)
+            .expect("a name follows the flag")
+            .trim_matches(|c: char| !c.is_ascii_alphanumeric() && c != '_');
+        let file = root.join(dir).join(format!("{name}.rs"));
+        assert!(
+            file.is_file(),
+            "README references {what} '{name}' but {} does not exist",
+            file.display()
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 4,
+        "expected several README commands, found {checked}"
+    );
+}
+
+/// The crate map table must list every member under crates/ (and the shims
+/// row), so the map cannot drift from the workspace layout.
+#[test]
+fn readme_crate_map_covers_the_workspace() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let text = readme();
+    let crates = std::fs::read_dir(root.join("crates")).expect("crates/ exists");
+    for entry in crates {
+        let name = entry.expect("readable dir entry").file_name();
+        let name = name.to_string_lossy();
+        assert!(
+            text.contains(&format!("`crates/{name}`")),
+            "README crate map is missing `crates/{name}`"
+        );
+    }
+    assert!(
+        text.contains("`shims/*`"),
+        "README crate map is missing the shims row"
+    );
+}
+
+/// The quickstart snippet names the quickstart example; run the same flow
+/// through the library (at reduced scale) so the snippet's promise — plan,
+/// simulate, measure — actually holds.
+#[test]
+fn readme_quickstart_flow_runs_end_to_end() {
+    let text = readme();
+    assert!(
+        text.contains("cargo run --release --example quickstart"),
+        "README quickstart must reference the quickstart example"
+    );
+    let fig8 = fig8_topology();
+    let catalog = SimulationCatalog::default();
+    let mut plan = SteeringSession::plan(
+        1,
+        &fig8.topology,
+        &catalog,
+        "Rage",
+        fig8.node(Fig8Site::GaTech),
+        fig8.node(Fig8Site::Ornl),
+        &PathChoice::Optimal,
+    )
+    .expect("the Fig. 8 deployment always admits a mapping");
+    // 1/64th scale keeps this test fast; the loop structure is unchanged.
+    plan.pipeline.source_bytes /= 64.0;
+    for module in &mut plan.pipeline.modules {
+        module.output_bytes /= 64.0;
+    }
+    plan.vrt = ricsa::pipemap::vrt::VisualizationRoutingTable::from_mapping(
+        &plan.pipeline,
+        &ricsa::pipemap::network::NetGraph::from_topology(&fig8.topology),
+        &plan.mapping,
+        plan.predicted.total,
+    );
+    assert!(plan.predicted.total > 0.0);
+    let mut sim = Simulator::new(fig8.topology.clone(), 42);
+    SteeringSession::install(&plan, &mut sim, fig8.node(Fig8Site::Lsu), 1, 200e6);
+    let delays = SteeringSession::run(&mut sim, 1, SimTime::from_secs(300.0));
+    assert_eq!(delays.len(), 1, "the quickstart iteration must complete");
+    assert!(delays[0].is_finite() && delays[0] > 0.0);
+}
