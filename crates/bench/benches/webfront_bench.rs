@@ -1,0 +1,66 @@
+//! Criterion benches for the Ajax serving layer.
+//!
+//! `encode_cache` is the headline: serving N pollers from the hub's
+//! encode-once cache costs N lookups (+ Arc clones) regardless of frame
+//! size, while the per-client-encode alternative pays the full base64/JSON
+//! encode N times.  The cached column must stay essentially flat as the
+//! frame grows and must scale only linearly (lookup-sized steps) in the
+//! poller count — encode work is independent of the number of pollers.
+//! `delta` prices the publish-side tile diff and the client-side patch.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ricsa_bench::{
+    serve_pollers_cached, serve_pollers_encoding, synth_web_frame, ENCODE_CACHE_POLLERS,
+};
+use ricsa_viz::image::Image;
+use ricsa_webfront::hub::{apply_delta, diff_images, SessionHub, DELTA_TILE};
+
+fn bench_encode_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode_cache");
+    group.sample_size(10);
+    for &pollers in ENCODE_CACHE_POLLERS {
+        let hub = SessionHub::new(4);
+        hub.publish(synth_web_frame(1, 128, 128));
+        group.bench_with_input(
+            BenchmarkId::new("cached", pollers),
+            &pollers,
+            |b, &pollers| b.iter(|| serve_pollers_cached(&hub, pollers)),
+        );
+        let mut frame = synth_web_frame(1, 128, 128);
+        frame.sequence = 1;
+        group.bench_with_input(
+            BenchmarkId::new("per_client", pollers),
+            &pollers,
+            |b, &pollers| b.iter(|| serve_pollers_encoding(&frame, pollers)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_delta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delta");
+    group.sample_size(10);
+    let prev = Image::decode_raw(&synth_web_frame(1, 256, 256).image).unwrap();
+    let cur = Image::decode_raw(&synth_web_frame(2, 256, 256).image).unwrap();
+    group.bench_function("diff_256", |b| {
+        b.iter(|| black_box(diff_images(&prev, &cur, DELTA_TILE)))
+    });
+    let delta = diff_images(&prev, &cur, DELTA_TILE).unwrap();
+    group.bench_function("apply_256", |b| {
+        b.iter(|| black_box(apply_delta(&prev, &delta)))
+    });
+    // The whole publish path: encode full + diff + encode delta, once.
+    let hub = SessionHub::new(8);
+    hub.publish(synth_web_frame(1, 256, 256));
+    let mut step = 2u64;
+    group.bench_function("publish_256", |b| {
+        b.iter(|| {
+            step += 1;
+            black_box(hub.publish(synth_web_frame(step, 256, 256)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode_cache, bench_delta);
+criterion_main!(benches);

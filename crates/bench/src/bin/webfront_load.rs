@@ -1,0 +1,479 @@
+//! Load-test the Ajax serving layer: many concurrent long-pollers and
+//! steerers against an in-process front end over real TCP sockets.
+//!
+//! One phase starts a [`FrontEndServer`], a publisher thread pushing
+//! synthetic frames (a small blob moving across a static background, so
+//! delta frames are genuinely sparse), `--pollers` long-polling clients on
+//! keep-alive connections, and a few steering clients POSTing parameter
+//! updates.  The run is executed twice — `mode=full` then `mode=delta` —
+//! and reports requests/s, frame-delivery latency percentiles
+//! (receive time minus publish time), and bytes on wire per delivered
+//! frame, whose ratio is the measured delta-mode saving.  A final table
+//! prices the hub's encode-once cache against re-encoding per client.
+//!
+//! Usage:
+//! `cargo run --release -p ricsa-bench --bin webfront_load -- [--quick]
+//!  [--pollers N] [--seconds S] [--workers W] [--json PATH]`
+//!
+//! `--quick` runs the CI scale: ≥100 pollers for ~2.5 s per phase,
+//! finishing in a few seconds.  The default is 300 pollers for 8 s per
+//! phase.  The BENCH json goes to `target/webfront_load.json` unless
+//! `--json PATH` overrides it.
+
+use criterion::time_per_call;
+use ricsa_bench::{
+    serve_pollers_cached, serve_pollers_encoding, synth_web_frame, ENCODE_CACHE_POLLERS,
+};
+use ricsa_webfront::http::{read_blocking_response, HttpServerConfig};
+use ricsa_webfront::hub::SessionHub;
+use ricsa_webfront::server::{FrontEndConfig, FrontEndServer};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// Everything one phase (full or delta) is configured with.
+#[derive(Clone)]
+struct PhaseConfig {
+    mode: &'static str,
+    pollers: usize,
+    steerers: usize,
+    seconds: f64,
+    publish_interval: Duration,
+    width: usize,
+    height: usize,
+    workers: usize,
+}
+
+/// Aggregated results of one phase, serialized into the BENCH json.
+#[derive(Debug, Serialize)]
+struct PhaseStats {
+    mode: String,
+    pollers: usize,
+    seconds: f64,
+    /// Poll requests completed (including empty timeouts).
+    poll_requests: u64,
+    /// Steering POSTs completed.
+    steer_requests: u64,
+    requests_per_sec: f64,
+    frames_published: u64,
+    /// Frame deliveries summed over all pollers.
+    frames_delivered: u64,
+    /// Deliveries that used the delta encoding.
+    delta_deliveries: u64,
+    /// Wire bytes of all poll responses (headers + body).
+    poll_bytes: u64,
+    bytes_per_delivery: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+}
+
+/// One row of the encode-cache pricing table.
+#[derive(Debug, Serialize)]
+struct EncodeTiming {
+    pollers: usize,
+    /// Serving `pollers` clients from the encode-once cache (lookup + Arc
+    /// clone each).
+    cached_us: f64,
+    /// Re-encoding the frame for each of the `pollers` clients.
+    per_client_us: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchJson {
+    quick: bool,
+    pollers: usize,
+    workers: usize,
+    full: PhaseStats,
+    delta: PhaseStats,
+    /// bytes-per-delivery(full) / bytes-per-delivery(delta).
+    wire_reduction: f64,
+    encode_cache: Vec<EncodeTiming>,
+}
+
+/// One response off a blocking stream via the shared client-side reader,
+/// with the body as a string for field scanning.
+fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<(u16, u64, String)> {
+    let (status, wire, body) = read_blocking_response(reader)?;
+    Ok((status, wire, String::from_utf8_lossy(&body).into_owned()))
+}
+
+/// Pull `"field":<u64>` out of a JSON body without a full parse — the load
+/// generator must stay far cheaper than the server it is measuring.
+fn scan_u64_field(body: &str, field: &str) -> Option<u64> {
+    let needle = format!("\"{field}\":");
+    let at = body.find(&needle)? + needle.len();
+    let digits: String = body[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+struct PollerResult {
+    polls: u64,
+    frames: u64,
+    delta_frames: u64,
+    wire_bytes: u64,
+    /// Delivery latencies in microseconds (receive minus publish).
+    latencies_us: Vec<u64>,
+}
+
+fn poller_thread(
+    addr: std::net::SocketAddr,
+    mode: &'static str,
+    stop: Arc<AtomicBool>,
+    publish_times: Arc<Mutex<HashMap<u64, Instant>>>,
+) -> PollerResult {
+    let mut result = PollerResult {
+        polls: 0,
+        frames: 0,
+        delta_frames: 0,
+        wire_bytes: 0,
+        latencies_us: Vec::new(),
+    };
+    let Ok(stream) = TcpStream::connect(addr) else {
+        return result;
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return result;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+
+    // Start from the current head so backlog frames do not pollute the
+    // delivery-latency measurement.
+    let mut since = (|| {
+        writer
+            .write_all(b"GET /api/state HTTP/1.1\r\nHost: l\r\n\r\n")
+            .ok()?;
+        let (_, _, body) = read_response(&mut reader).ok()?;
+        scan_u64_field(&body, "latest_sequence")
+    })()
+    .unwrap_or(0);
+
+    while !stop.load(Ordering::Relaxed) {
+        let request = format!(
+            "GET /api/poll?since={since}&timeout_ms=1000&mode={mode} HTTP/1.1\r\nHost: l\r\n\r\n"
+        );
+        if writer.write_all(request.as_bytes()).is_err() {
+            break;
+        }
+        let Ok((status, wire, body)) = read_response(&mut reader) else {
+            break;
+        };
+        let received = Instant::now();
+        result.polls += 1;
+        result.wire_bytes += wire;
+        if status != 200 {
+            continue;
+        }
+        if let Some(seq) = scan_u64_field(&body, "sequence") {
+            result.frames += 1;
+            if body.contains("\"mode\":\"delta\"") {
+                result.delta_frames += 1;
+            }
+            if let Some(published) = publish_times.lock().get(&seq) {
+                result
+                    .latencies_us
+                    .push(received.duration_since(*published).as_micros() as u64);
+            }
+            since = seq;
+        }
+    }
+    result
+}
+
+fn steerer_thread(addr: std::net::SocketAddr, stop: Arc<AtomicBool>) -> u64 {
+    let mut sent = 0;
+    let Ok(stream) = TcpStream::connect(addr) else {
+        return 0;
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let Ok(read_half) = stream.try_clone() else {
+        return 0;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let body =
+        r#"{"gamma":1.4,"cfl":0.4,"drive_strength":1.0,"inflow_velocity":2.0,"end_cycle":1000000}"#;
+    while !stop.load(Ordering::Relaxed) {
+        let request = format!(
+            "POST /api/steer HTTP/1.1\r\nHost: l\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        if writer.write_all(request.as_bytes()).is_err() {
+            break;
+        }
+        if read_response(&mut reader).is_err() {
+            break;
+        }
+        sent += 1;
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    sent
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx] as f64 / 1e3
+}
+
+fn run_phase(config: &PhaseConfig) -> PhaseStats {
+    let server = FrontEndServer::start_with(
+        "127.0.0.1:0",
+        FrontEndConfig {
+            http: HttpServerConfig {
+                workers: config.workers,
+                max_connections: config.pollers + config.steerers + 16,
+                ..HttpServerConfig::default()
+            },
+            hub_capacity: 32,
+            max_clients: config.pollers + 16,
+        },
+    )
+    .expect("bind the front end");
+    let addr = server.addr();
+    let hub = server.hub();
+    let stop = Arc::new(AtomicBool::new(false));
+    let publish_times: Arc<Mutex<HashMap<u64, Instant>>> = Arc::default();
+
+    let publisher = {
+        let hub = hub.clone();
+        let stop = stop.clone();
+        let publish_times = publish_times.clone();
+        let config = config.clone();
+        std::thread::spawn(move || {
+            let mut step = 0u64;
+            let mut next_seq = hub.latest_sequence() + 1;
+            while !stop.load(Ordering::Relaxed) {
+                let frame = synth_web_frame(step, config.width, config.height);
+                // Timestamp *before* publish, registered under the
+                // expected sequence number (single publisher), so pollers
+                // woken inside publish() find it and the latency sample
+                // includes the encode time.
+                publish_times.lock().insert(next_seq, Instant::now());
+                let seq = hub.publish(frame);
+                assert_eq!(seq, next_seq, "single publisher owns the sequence");
+                next_seq = seq + 1;
+                step += 1;
+                std::thread::sleep(config.publish_interval);
+            }
+            step
+        })
+    };
+
+    let pollers: Vec<_> = (0..config.pollers)
+        .map(|_| {
+            let stop = stop.clone();
+            let publish_times = publish_times.clone();
+            let mode = config.mode;
+            std::thread::spawn(move || poller_thread(addr, mode, stop, publish_times))
+        })
+        .collect();
+    let steerers: Vec<_> = (0..config.steerers)
+        .map(|_| {
+            let stop = stop.clone();
+            std::thread::spawn(move || steerer_thread(addr, stop))
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_secs_f64(config.seconds));
+    stop.store(true, Ordering::Relaxed);
+    let frames_published = publisher.join().unwrap();
+
+    let mut polls = 0;
+    let mut frames = 0;
+    let mut delta_frames = 0;
+    let mut wire_bytes = 0;
+    let mut latencies: Vec<u64> = Vec::new();
+    for handle in pollers {
+        let r = handle.join().unwrap();
+        polls += r.polls;
+        frames += r.frames;
+        delta_frames += r.delta_frames;
+        wire_bytes += r.wire_bytes;
+        latencies.extend(r.latencies_us);
+    }
+    let steer_requests: u64 = steerers.into_iter().map(|h| h.join().unwrap()).sum();
+    server.shutdown();
+
+    latencies.sort_unstable();
+    PhaseStats {
+        mode: config.mode.to_string(),
+        pollers: config.pollers,
+        seconds: config.seconds,
+        poll_requests: polls,
+        steer_requests,
+        requests_per_sec: (polls + steer_requests) as f64 / config.seconds,
+        frames_published,
+        frames_delivered: frames,
+        delta_deliveries: delta_frames,
+        poll_bytes: wire_bytes,
+        bytes_per_delivery: if frames > 0 {
+            wire_bytes as f64 / frames as f64
+        } else {
+            f64::NAN
+        },
+        p50_ms: percentile(&latencies, 0.50),
+        p95_ms: percentile(&latencies, 0.95),
+        p99_ms: percentile(&latencies, 0.99),
+        max_ms: latencies.last().map_or(f64::NAN, |&l| l as f64 / 1e3),
+    }
+}
+
+/// Price the encode-once cache against per-client re-encoding for a range
+/// of poller counts: the cached column should stay within the cost of
+/// `pollers` lookups, independent of the encode cost.  The workload
+/// (`serve_pollers_cached`/`serve_pollers_encoding`, `ENCODE_CACHE_POLLERS`)
+/// is shared with the `webfront_bench` criterion bench.
+fn encode_cache_timings(width: usize, height: usize) -> Vec<EncodeTiming> {
+    let mut rows = Vec::new();
+    let frame = synth_web_frame(3, width, height);
+    for &pollers in ENCODE_CACHE_POLLERS {
+        let hub = SessionHub::new(4);
+        hub.publish(frame.clone());
+        let cached_us =
+            time_per_call(5, || serve_pollers_cached(&hub, pollers)).as_secs_f64() * 1e6;
+        let mut numbered = frame.clone();
+        numbered.sequence = 1;
+        let per_client_us =
+            time_per_call(5, || serve_pollers_encoding(&numbered, pollers)).as_secs_f64() * 1e6;
+        rows.push(EncodeTiming {
+            pollers,
+            cached_us,
+            per_client_us,
+        });
+    }
+    rows
+}
+
+fn print_phase(stats: &PhaseStats) {
+    println!(
+        "{:>6}{:>9}{:>10}{:>11}{:>11}{:>13}{:>11.0}{:>10.2}{:>10.2}{:>10.2}",
+        stats.mode,
+        stats.pollers,
+        stats.poll_requests,
+        format!("{:.0}/s", stats.requests_per_sec),
+        stats.frames_delivered,
+        stats.delta_deliveries,
+        stats.bytes_per_delivery,
+        stats.p50_ms,
+        stats.p95_ms,
+        stats.p99_ms,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let pollers: usize = flag_value("--pollers")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if quick { 110 } else { 300 });
+    let seconds: f64 = flag_value("--seconds")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if quick { 2.5 } else { 8.0 });
+    let workers: usize = flag_value("--workers")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let json_path = flag_value("--json").unwrap_or_else(|| "target/webfront_load.json".into());
+    let (width, height) = if quick { (128, 128) } else { (192, 192) };
+
+    let base = PhaseConfig {
+        mode: "full",
+        pollers,
+        steerers: 4,
+        seconds,
+        publish_interval: Duration::from_millis(30),
+        width,
+        height,
+        workers,
+    };
+    eprintln!(
+        "webfront load: {pollers} pollers + {} steerers, {workers} workers, \
+         {width}x{height} frames every {:?}, {seconds} s per phase...",
+        base.steerers, base.publish_interval
+    );
+
+    println!(
+        "{:>6}{:>9}{:>10}{:>11}{:>11}{:>13}{:>11}{:>10}{:>10}{:>10}",
+        "mode",
+        "pollers",
+        "polls",
+        "req/s",
+        "frames",
+        "delta-frames",
+        "B/frame",
+        "p50 ms",
+        "p95 ms",
+        "p99 ms"
+    );
+    let full = run_phase(&base);
+    print_phase(&full);
+    let delta = run_phase(&PhaseConfig {
+        mode: "delta",
+        ..base.clone()
+    });
+    print_phase(&delta);
+
+    let wire_reduction = full.bytes_per_delivery / delta.bytes_per_delivery;
+    println!(
+        "bytes on wire per delivered frame: full {:.0} vs delta {:.0}  ({wire_reduction:.2}x reduction)",
+        full.bytes_per_delivery, delta.bytes_per_delivery
+    );
+
+    eprintln!("pricing the encode-once cache against per-client encoding...");
+    let encode_cache = encode_cache_timings(width, height);
+    println!(
+        "{:>9}{:>15}{:>17}{:>9}",
+        "pollers", "cached (µs)", "per-client (µs)", "ratio"
+    );
+    for row in &encode_cache {
+        println!(
+            "{:>9}{:>15.1}{:>17.1}{:>9.1}",
+            row.pollers,
+            row.cached_us,
+            row.per_client_us,
+            row.per_client_us / row.cached_us.max(1e-9)
+        );
+    }
+
+    let bench = BenchJson {
+        quick,
+        pollers,
+        workers,
+        full,
+        delta,
+        wire_reduction,
+        encode_cache,
+    };
+    match serde_json::to_string(&bench) {
+        Ok(json) => {
+            if let Some(parent) = std::path::Path::new(&json_path).parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            match std::fs::write(&json_path, json) {
+                Ok(()) => eprintln!("BENCH json written to {json_path}"),
+                Err(e) => eprintln!("could not write {json_path}: {e}"),
+            }
+        }
+        Err(e) => eprintln!("could not serialize BENCH json: {e}"),
+    }
+}

@@ -7,6 +7,8 @@
 
 use ricsa_core::experiment::ExperimentOptions;
 use ricsa_netsim::time::SimTime;
+use ricsa_viz::image::Image;
+use ricsa_webfront::hub::{encode_frame_full, Frame, PollMode, SessionHub};
 
 /// Experiment options for full-scale (paper-size) runs, used by the
 /// binaries that regenerate the figures.
@@ -23,6 +25,57 @@ pub fn bench_scale_options() -> ExperimentOptions {
         size_scale: 1.0 / 64.0,
         max_virtual_time: SimTime::from_secs(120.0),
         ..ExperimentOptions::default()
+    }
+}
+
+/// The synthetic frame for serving-layer benchmarks at publish step
+/// `step`: a static gradient background with a bright square blob walking
+/// across it, so consecutive frames differ only around the blob and delta
+/// encodings are genuinely sparse.  Shared by the `webfront_load` binary
+/// and the `webfront_bench` criterion bench so both measure the same
+/// workload.
+pub fn synth_web_frame(step: u64, width: usize, height: usize) -> Frame {
+    const BLOB: usize = 24;
+    let mut img = Image::new(width, height);
+    for y in 0..height {
+        for x in 0..width {
+            img.set(x, y, [(x ^ y) as u8, (x / 2) as u8, (y / 2) as u8, 255]);
+        }
+    }
+    let bx = (step as usize * 2) % width.saturating_sub(BLOB).max(1);
+    let by = (step as usize) % height.saturating_sub(BLOB).max(1);
+    for y in by..(by + BLOB).min(height) {
+        for x in bx..(bx + BLOB).min(width) {
+            img.set(x, y, [255, 240, 40, 255]);
+        }
+    }
+    Frame {
+        sequence: 0,
+        cycle: step,
+        time: step as f64 * 0.01,
+        image: img.encode_raw(),
+        monitors: vec![("step".into(), step as f64)],
+    }
+}
+
+/// Poller counts priced by the encode-cache comparison — one list shared
+/// by the `webfront_bench` criterion bench and the `webfront_load` BENCH
+/// json so both always measure the same workload.
+pub const ENCODE_CACHE_POLLERS: &[usize] = &[1, 16, 128];
+
+/// The cached side of the encode-cache comparison: serve `pollers` clients
+/// from the hub's encode-once cache (a lookup plus an `Arc` clone each).
+pub fn serve_pollers_cached(hub: &SessionHub, pollers: usize) {
+    for _ in 0..pollers {
+        std::hint::black_box(hub.try_payload(0, PollMode::Full));
+    }
+}
+
+/// The per-client side of the comparison: re-encode the frame once per
+/// client instead of hitting the cache.
+pub fn serve_pollers_encoding(frame: &Frame, pollers: usize) {
+    for _ in 0..pollers {
+        std::hint::black_box(encode_frame_full(frame, 1));
     }
 }
 

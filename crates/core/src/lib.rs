@@ -22,6 +22,8 @@
 //!   paper inserts into VH1 (Fig. 7), used by the web front end and the
 //!   examples to steer a live in-process simulation.
 
+#![deny(missing_docs)]
+
 pub mod api;
 pub mod catalog;
 pub mod experiment;

@@ -1,18 +1,51 @@
-//! A minimal HTTP/1.1 server.
+//! A high-concurrency HTTP/1.1 server on a fixed worker thread pool.
 //!
-//! Just enough HTTP to serve the Ajax page and its `XMLHttpRequest` API:
-//! GET/POST parsing with headers and body, query-string parameters, and
-//! fixed-length responses.  Connections are handled one request at a time on
-//! a small thread pool (`Connection: close`), which is plenty for a steering
-//! UI with a handful of concurrent viewers.
+//! The paper's front end must absorb "heavy traffic" from many browsers at
+//! once, so connections are *not* pinned to threads.  A fixed pool of
+//! workers multiplexes all live connections through a shared run queue:
+//!
+//! * **Keep-alive.**  Connections are HTTP/1.1 persistent by default; each
+//!   worker visit reads whatever bytes have arrived (sockets are
+//!   non-blocking), parses as many complete requests as the buffer holds
+//!   (pipelining-safe: unconsumed bytes simply stay buffered), and writes
+//!   the responses in order.
+//! * **Deferred responses.**  A handler returns an [`Outcome`]: either a
+//!   ready [`HttpResponse`] or a `Pending` closure the pool re-polls on
+//!   every visit until it produces a response.  This is how `/api/poll`
+//!   long-polls hundreds of clients without blocking a worker per client.
+//! * **Connection limits.**  Beyond [`HttpServerConfig::max_connections`]
+//!   the acceptor answers `503 Service Unavailable` and closes, so overload
+//!   degrades crisply instead of exhausting file descriptors.
+//! * **Graceful shutdown.**  [`HttpServer::shutdown`] stops the acceptor,
+//!   lets workers flush any response that is already computable, closes the
+//!   remaining connections, and joins every thread.
+//!
+//! Scheduling granularity: an idle connection is revisited roughly every
+//! [`POLL_INTERVAL`]; that bounds both the long-poll wake-up latency and
+//! the CPU burned on idle connections (each worker naps between
+//! unproductive visits instead of spinning).
 
-use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// How often an idle or pending connection is revisited by the pool.  This
+/// bounds long-poll wake-up latency from below; it is deliberately a couple
+/// of milliseconds — far below a frame interval — so delivery latency is
+/// dominated by the publisher, not the scheduler.
+pub const POLL_INTERVAL: Duration = Duration::from_millis(2);
+
+/// Maximum accepted header-block size; a connection exceeding it is cut
+/// off with `400 Bad Request`.
+const MAX_HEADER_BYTES: usize = 16 << 10;
+
+/// Maximum accepted request-body size.
+const MAX_BODY_BYTES: usize = 16 << 20;
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,6 +54,8 @@ pub struct HttpRequest {
     pub method: String,
     /// Path without the query string.
     pub path: String,
+    /// HTTP version from the request line (`HTTP/1.1`).
+    pub version: String,
     /// Decoded query-string parameters.
     pub query: HashMap<String, String>,
     /// Header fields, lower-cased names.
@@ -29,50 +64,151 @@ pub struct HttpRequest {
     pub body: Vec<u8>,
 }
 
+/// Result of attempting to parse a request from buffered bytes.
+#[derive(Debug)]
+pub enum Parse {
+    /// A complete request plus the number of buffer bytes it consumed
+    /// (request line + headers + body); the remainder of the buffer is the
+    /// start of the next pipelined request.
+    Complete(Box<HttpRequest>, usize),
+    /// The buffer holds only a prefix of a request; read more bytes.
+    Partial,
+    /// The bytes cannot be a valid request (malformed request line or an
+    /// oversized header/body).
+    Invalid,
+}
+
 impl HttpRequest {
     /// A query parameter by name.
     pub fn query_param(&self, name: &str) -> Option<&str> {
         self.query.get(name).map(String::as_str)
     }
 
-    /// Parse a request from a reader.
-    pub fn parse(stream: &mut dyn BufRead) -> Option<HttpRequest> {
-        let mut request_line = String::new();
-        stream.read_line(&mut request_line).ok()?;
+    /// Whether the connection should stay open after this request:
+    /// HTTP/1.1 defaults to keep-alive, anything else to close, and an
+    /// explicit `Connection:` header overrides either way.
+    pub fn wants_keep_alive(&self) -> bool {
+        match self
+            .headers
+            .get("connection")
+            .map(|v| v.to_ascii_lowercase())
+        {
+            Some(v) if v.contains("close") => false,
+            Some(v) if v.contains("keep-alive") => true,
+            _ => self.version == "HTTP/1.1",
+        }
+    }
+
+    /// Incrementally parse one request from the front of `buf`.
+    ///
+    /// This is the pipelining-safe entry point the connection loop uses: it
+    /// never consumes bytes on `Partial`, and on `Complete` it reports
+    /// exactly how many bytes belonged to this request so the caller can
+    /// drain them and leave any pipelined successor intact.
+    pub fn parse_buf(buf: &[u8]) -> Parse {
+        let Some(header_end) = find_header_end(buf) else {
+            return if buf.len() > MAX_HEADER_BYTES {
+                Parse::Invalid
+            } else {
+                Parse::Partial
+            };
+        };
+        if header_end > MAX_HEADER_BYTES {
+            return Parse::Invalid;
+        }
+        let head = match std::str::from_utf8(&buf[..header_end]) {
+            Ok(s) => s,
+            Err(_) => return Parse::Invalid,
+        };
+        let mut lines = head.split('\n').map(|l| l.trim_end_matches('\r'));
+        let request_line = lines.next().unwrap_or("");
         let mut parts = request_line.split_whitespace();
-        let method = parts.next()?.to_string();
-        let target = parts.next()?.to_string();
+        let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+            return Parse::Invalid;
+        };
+        let version = parts.next().unwrap_or("HTTP/1.0").to_string();
         let (path, query) = match target.split_once('?') {
             Some((p, q)) => (p.to_string(), parse_query(q)),
-            None => (target, HashMap::new()),
+            None => (target.to_string(), HashMap::new()),
         };
         let mut headers = HashMap::new();
-        loop {
-            let mut line = String::new();
-            stream.read_line(&mut line).ok()?;
-            let line = line.trim_end();
+        for line in lines {
             if line.is_empty() {
-                break;
+                continue;
             }
             if let Some((name, value)) = line.split_once(':') {
                 headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
             }
         }
-        let content_length: usize = headers
-            .get("content-length")
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(0);
-        let mut body = vec![0u8; content_length.min(16 << 20)];
-        if !body.is_empty() {
-            stream.read_exact(&mut body).ok()?;
+        // Chunked (or any other) transfer coding is not supported; it must
+        // be rejected, not ignored — otherwise the chunked body bytes
+        // would be re-parsed as the next pipelined request (framing
+        // desync / request-smuggling primitive on keep-alive connections).
+        if headers
+            .get("transfer-encoding")
+            .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+        {
+            return Parse::Invalid;
         }
-        Some(HttpRequest {
-            method,
-            path,
-            query,
-            headers,
-            body,
-        })
+        // An unparseable Content-Length must reject the request, not be
+        // read as 0, for the same framing reason.
+        let content_length: usize = match headers.get("content-length") {
+            Some(v) => match v.parse() {
+                Ok(n) => n,
+                Err(_) => return Parse::Invalid,
+            },
+            None => 0,
+        };
+        if content_length > MAX_BODY_BYTES {
+            return Parse::Invalid;
+        }
+        let body_start = header_end + header_terminator_len(buf, header_end);
+        if buf.len() < body_start + content_length {
+            return Parse::Partial;
+        }
+        let body = buf[body_start..body_start + content_length].to_vec();
+        Parse::Complete(
+            Box::new(HttpRequest {
+                method: method.to_string(),
+                path,
+                version,
+                query,
+                headers,
+                body,
+            }),
+            body_start + content_length,
+        )
+    }
+}
+
+/// Index of the first byte of the blank line terminating the header block
+/// (`\r\n\r\n`, tolerating bare `\n\n`), or `None` if it has not arrived.
+/// Whichever terminator appears *earliest* wins — a bare-LF request must
+/// not be framed by a CRLF sequence occurring later in the buffer (e.g. in
+/// a pipelined successor).
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    // A valid terminator must sit within MAX_HEADER_BYTES (enforced by the
+    // caller), so bound the scan: without this, every Partial re-parse of
+    // a multi-megabyte streaming body would rescan the whole buffer.
+    let scan = &buf[..buf.len().min(MAX_HEADER_BYTES + 4)];
+    let crlf = scan
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| i + 2);
+    let lf = scan.windows(2).position(|w| w == b"\n\n").map(|i| i + 1);
+    match (crlf, lf) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    }
+}
+
+/// Length of the terminator starting at `header_end` (2 for `\r\n`, 1 for
+/// a bare `\n`).
+fn header_terminator_len(buf: &[u8], header_end: usize) -> usize {
+    if buf[header_end..].starts_with(b"\r\n") {
+        2
+    } else {
+        1
     }
 }
 
@@ -117,6 +253,34 @@ fn url_decode(s: &str) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
+/// A response body: either bytes owned by this response or a shared
+/// reference-counted payload (the hub's encode-once frame cache hands the
+/// same `Arc<str>` to every poller instead of re-encoding per client).
+#[derive(Debug, Clone)]
+pub enum Body {
+    /// Bytes owned by this response.
+    Owned(Vec<u8>),
+    /// A shared payload; cloning the response clones only the `Arc`.
+    Shared(Arc<str>),
+}
+
+impl Body {
+    /// The body bytes, whichever variant holds them.
+    pub fn as_bytes(&self) -> &[u8] {
+        match self {
+            Body::Owned(v) => v,
+            Body::Shared(s) => s.as_bytes(),
+        }
+    }
+}
+
+impl PartialEq for Body {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_bytes() == other.as_bytes()
+    }
+}
+impl Eq for Body {}
+
 /// An HTTP response under construction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HttpResponse {
@@ -124,8 +288,8 @@ pub struct HttpResponse {
     pub status: u16,
     /// Content type.
     pub content_type: String,
-    /// Body bytes.
-    pub body: Vec<u8>,
+    /// Body bytes (owned or shared).
+    pub body: Body,
 }
 
 impl HttpResponse {
@@ -134,7 +298,7 @@ impl HttpResponse {
         HttpResponse {
             status: 200,
             content_type: content_type.to_string(),
-            body: body.into(),
+            body: Body::Owned(body.into()),
         }
     }
 
@@ -143,12 +307,22 @@ impl HttpResponse {
         HttpResponse::ok("application/json", value.to_string().into_bytes())
     }
 
+    /// A JSON response over a shared pre-encoded payload (no copy of the
+    /// payload is made; every client shares the same allocation).
+    pub fn json_shared(payload: Arc<str>) -> Self {
+        HttpResponse {
+            status: 200,
+            content_type: "application/json".into(),
+            body: Body::Shared(payload),
+        }
+    }
+
     /// A 404 response.
     pub fn not_found() -> Self {
         HttpResponse {
             status: 404,
             content_type: "text/plain".into(),
-            body: b"not found".to_vec(),
+            body: Body::Owned(b"not found".to_vec()),
         }
     }
 
@@ -157,69 +331,333 @@ impl HttpResponse {
         HttpResponse {
             status: 400,
             content_type: "text/plain".into(),
-            body: reason.as_bytes().to_vec(),
+            body: Body::Owned(reason.as_bytes().to_vec()),
         }
     }
 
-    /// Serialize to wire format.
-    pub fn encode(&self) -> Vec<u8> {
+    /// A 503 response (connection limit reached).
+    pub fn service_unavailable() -> Self {
+        HttpResponse {
+            status: 503,
+            content_type: "text/plain".into(),
+            body: Body::Owned(b"server at connection capacity".to_vec()),
+        }
+    }
+
+    /// Serialize to wire format, advertising whether the connection stays
+    /// open afterwards.
+    pub fn encode(&self, keep_alive: bool) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out, keep_alive);
+        out
+    }
+
+    /// Serialize to wire format directly into `out` — the serving path
+    /// appends straight into the connection's output buffer, so a large
+    /// shared frame payload is copied exactly once (no intermediate
+    /// headers+body allocation per response).
+    pub fn encode_into(&self, out: &mut Vec<u8>, keep_alive: bool) {
         let reason = match self.status {
             200 => "OK",
             400 => "Bad Request",
             404 => "Not Found",
+            503 => "Service Unavailable",
             _ => "Unknown",
         };
-        let mut out = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nAccess-Control-Allow-Origin: *\r\nConnection: close\r\n\r\n",
-            self.status,
-            reason,
-            self.content_type,
-            self.body.len()
-        )
-        .into_bytes();
-        out.extend_from_slice(&self.body);
-        out
+        let body = self.body.as_bytes();
+        out.extend_from_slice(
+            format!(
+                "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nAccess-Control-Allow-Origin: *\r\nConnection: {}\r\n\r\n",
+                self.status,
+                reason,
+                self.content_type,
+                body.len(),
+                if keep_alive { "keep-alive" } else { "close" },
+            )
+            .as_bytes(),
+        );
+        out.extend_from_slice(body);
+    }
+}
+
+/// Read one HTTP response (status line, headers, `Content-Length`-framed
+/// body) from a blocking client-side reader — the parsing inverse of
+/// [`HttpResponse::encode`].  Returns `(status, wire_bytes, body)` where
+/// `wire_bytes` counts the full response (status line + headers + body).
+/// Shared by this crate's socket tests, the workspace integration tests
+/// and the `webfront_load` generator; the server itself never parses
+/// responses.
+pub fn read_blocking_response<R: std::io::BufRead>(
+    reader: &mut R,
+) -> std::io::Result<(u16, u64, Vec<u8>)> {
+    let mut status_line = String::new();
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(std::io::Error::new(
+            ErrorKind::UnexpectedEof,
+            "connection closed before a response",
+        ));
+    }
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let mut wire = status_line.len() as u64;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "connection closed inside response headers",
+            ));
+        }
+        wire += line.len() as u64;
+        if line.trim_end().is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap_or(0);
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    wire += content_length as u64;
+    Ok((status, wire, body))
+}
+
+/// What a route handler returns.
+pub enum Outcome {
+    /// The response is ready now.
+    Ready(HttpResponse),
+    /// The response is not computable yet (a long-poll waiting for the next
+    /// frame).  The pool re-invokes the closure on every scheduling visit —
+    /// roughly every [`POLL_INTERVAL`] — until it returns `Some`; the
+    /// closure owns its own deadline and returns its timeout response when
+    /// that passes.  No worker thread blocks while the closure waits.
+    Pending(Box<dyn FnMut() -> Option<HttpResponse> + Send>),
+}
+
+impl From<HttpResponse> for Outcome {
+    fn from(resp: HttpResponse) -> Self {
+        Outcome::Ready(resp)
+    }
+}
+
+/// Sizing and timing knobs for [`HttpServer`].
+#[derive(Debug, Clone)]
+pub struct HttpServerConfig {
+    /// Worker threads multiplexing all connections.  Because long-polls
+    /// never block a worker, this needs to cover concurrent *parsing and
+    /// writing*, not concurrent clients; a small pool serves hundreds of
+    /// keep-alive pollers.
+    pub workers: usize,
+    /// Accepted-connection ceiling; beyond it new connections get `503`.
+    pub max_connections: usize,
+    /// Keep-alive idle timeout: a connection with no request in flight and
+    /// no bytes arriving for this long is closed.
+    pub keep_alive: Duration,
+    /// Requests served on one connection before the server closes it
+    /// (`0` = unlimited).  A rotation guard against resource pinning.
+    pub max_requests_per_connection: u64,
+}
+
+impl Default for HttpServerConfig {
+    fn default() -> Self {
+        HttpServerConfig {
+            workers: 8,
+            max_connections: 1024,
+            keep_alive: Duration::from_secs(30),
+            max_requests_per_connection: 0,
+        }
+    }
+}
+
+type Handler = dyn Fn(HttpRequest) -> Outcome + Send + Sync;
+type PendingResponse = Box<dyn FnMut() -> Option<HttpResponse> + Send>;
+
+/// Upper bound on response bytes buffered for a slow-reading client; a
+/// reader this far behind is not keeping up and is dropped.
+const MAX_OUT_BUFFERED: usize = 8 << 20;
+
+/// Upper bound on request bytes buffered per connection: one maximal
+/// request plus headroom for pipelined successors.  Enforced even while a
+/// long-poll defers dispatch, so a client cannot stream unbounded input
+/// into memory behind a pending response.
+const MAX_IN_BUFFERED: usize = MAX_BODY_BYTES + MAX_HEADER_BYTES + (64 << 10);
+
+/// Once this much of `Conn::out` has been flushed, the dead prefix is
+/// reclaimed (without this, a connection that never fully drains would
+/// keep every byte it ever sent allocated).
+const OUT_COMPACT_THRESHOLD: usize = 64 << 10;
+
+/// One live connection owned by the run queue (or, transiently, by the
+/// worker visiting it).
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet consumed by a complete request.
+    buf: Vec<u8>,
+    /// Response bytes queued but not yet accepted by the (non-blocking)
+    /// socket — a slow reader never blocks a worker, it just accumulates
+    /// here up to [`MAX_OUT_BUFFERED`].
+    out: Vec<u8>,
+    /// How much of `out` has already been written.
+    out_pos: usize,
+    /// Close the connection once `out` is fully flushed.
+    close_after_flush: bool,
+    /// A deferred response being polled; while present, no further
+    /// pipelined request is dispatched (responses stay in order).
+    pending: Option<PendingResponse>,
+    /// Keep-alive decision captured from the request that went pending.
+    pending_keep_alive: bool,
+    /// The peer has closed its write half (no more requests will arrive;
+    /// responses may still be deliverable — HTTP half-close is legal).
+    saw_eof: bool,
+    /// Requests served on this connection.
+    served: u64,
+    /// Last time bytes arrived or response bytes were flushed.
+    last_activity: Instant,
+    /// Earliest next visit worth making (idle connections rotate at
+    /// [`POLL_INTERVAL`]).
+    next_check: Instant,
+}
+
+impl Conn {
+    /// Queue a response for the wire (written by [`try_flush`] as the
+    /// socket accepts it).
+    fn queue_response(&mut self, resp: &HttpResponse, keep_alive: bool) {
+        if self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+        }
+        resp.encode_into(&mut self.out, keep_alive);
+        if !keep_alive {
+            self.close_after_flush = true;
+        }
+    }
+
+    fn out_is_empty(&self) -> bool {
+        self.out_pos == self.out.len()
+    }
+}
+
+/// Write as much queued output as the socket accepts right now, without
+/// ever blocking.  Returns `None` when the connection is dead, otherwise
+/// whether any bytes were written.
+fn try_flush(conn: &mut Conn) -> Option<bool> {
+    let mut wrote = false;
+    while conn.out_pos < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => return None,
+            Ok(n) => {
+                conn.out_pos += n;
+                conn.last_activity = Instant::now();
+                wrote = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return None,
+        }
+    }
+    if conn.out_is_empty() {
+        conn.out.clear();
+        conn.out_pos = 0;
+    } else if conn.out_pos > OUT_COMPACT_THRESHOLD {
+        // Reclaim the flushed prefix; a never-fully-drained connection
+        // must not retain every byte it ever sent.
+        conn.out.drain(..conn.out_pos);
+        conn.out_pos = 0;
+    }
+    Some(wrote)
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Conn>>,
+    cvar: Condvar,
+    stop: AtomicBool,
+    active: AtomicUsize,
+    served_total: AtomicU64,
+}
+
+impl Shared {
+    fn push(&self, conn: Conn) {
+        self.queue.lock().push_back(conn);
+        self.cvar.notify_one();
+    }
+
+    /// Pop the next connection, blocking until one is queued or stop is
+    /// signalled; `None` only on stop with an empty queue.
+    fn pop(&self) -> Option<Conn> {
+        let mut queue = self.queue.lock();
+        loop {
+            if let Some(conn) = queue.pop_front() {
+                return Some(conn);
+            }
+            if self.stop.load(Ordering::Relaxed) {
+                return None;
+            }
+            self.cvar.wait_for(&mut queue, Duration::from_millis(50));
+        }
     }
 }
 
 /// A running HTTP server dispatching to a handler function.
 pub struct HttpServer {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 impl HttpServer {
-    /// Bind to `addr` (e.g. `"127.0.0.1:0"`) and serve requests with
-    /// `handler` on a background thread.
+    /// Bind to `addr` (e.g. `"127.0.0.1:0"`) with the default
+    /// [`HttpServerConfig`].
     pub fn start<F>(addr: &str, handler: F) -> std::io::Result<HttpServer>
     where
-        F: Fn(HttpRequest) -> HttpResponse + Send + Sync + 'static,
+        F: Fn(HttpRequest) -> Outcome + Send + Sync + 'static,
+    {
+        HttpServer::start_with(addr, HttpServerConfig::default(), handler)
+    }
+
+    /// Bind to `addr` and serve with an explicit configuration: one
+    /// acceptor thread plus `config.workers` pool workers.
+    pub fn start_with<F>(
+        addr: &str,
+        config: HttpServerConfig,
+        handler: F,
+    ) -> std::io::Result<HttpServer>
+    where
+        F: Fn(HttpRequest) -> Outcome + Send + Sync + 'static,
     {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop_flag = stop.clone();
-        let handler = Arc::new(handler);
-        let handle = std::thread::spawn(move || {
-            while !stop_flag.load(Ordering::Relaxed) {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        let handler = handler.clone();
-                        std::thread::spawn(move || handle_connection(stream, handler.as_ref()));
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
-                    }
-                    Err(_) => break,
-                }
-            }
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            cvar: Condvar::new(),
+            stop: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            served_total: AtomicU64::new(0),
         });
+        let handler: Arc<Handler> = Arc::new(handler);
+        let mut threads = Vec::with_capacity(config.workers + 1);
+
+        let accept_shared = shared.clone();
+        let max_connections = config.max_connections.max(1);
+        threads.push(std::thread::spawn(move || {
+            accept_loop(listener, accept_shared, max_connections)
+        }));
+        for _ in 0..config.workers.max(1) {
+            let shared = shared.clone();
+            let handler = handler.clone();
+            let config = config.clone();
+            threads.push(std::thread::spawn(move || {
+                worker_loop(shared, handler, config)
+            }));
+        }
         Ok(HttpServer {
             addr: local,
-            stop,
-            handle: Some(handle),
+            shared,
+            threads,
         })
     }
 
@@ -228,10 +666,27 @@ impl HttpServer {
         self.addr
     }
 
-    /// Stop the server and join its thread.
+    /// Connections currently open (queued or being serviced).
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::Relaxed)
+    }
+
+    /// Total requests served since start.
+    pub fn requests_served(&self) -> u64 {
+        self.shared.served_total.load(Ordering::Relaxed)
+    }
+
+    /// Gracefully stop the server: no new connections are accepted, workers
+    /// flush any response that is already computable, every connection is
+    /// closed, and all threads are joined.
     pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(handle) = self.handle.take() {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        self.shared.cvar.notify_all();
+        for handle in self.threads.drain(..) {
             let _ = handle.join();
         }
     }
@@ -239,62 +694,381 @@ impl HttpServer {
 
 impl Drop for HttpServer {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, max_connections: usize) {
+    while !shared.stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                if shared.active.load(Ordering::Relaxed) >= max_connections {
+                    // Crisp overload behaviour: tell the client and close.
+                    // Drain whatever request bytes already arrived first —
+                    // closing with unread input makes the kernel RST the
+                    // connection, which would discard the 503 before the
+                    // client reads it.
+                    if stream.set_nonblocking(true).is_ok() {
+                        // Bounded drain: the acceptor must not be pinned
+                        // by one client streaming data at it.
+                        let mut sink = [0u8; 1024];
+                        let mut drained = 0usize;
+                        while drained < 16 << 10 {
+                            match stream.read(&mut sink) {
+                                Ok(n) if n > 0 => drained += n,
+                                _ => break,
+                            }
+                        }
+                        let _ = stream.set_nonblocking(false);
+                    }
+                    let _ = stream.write_all(&HttpResponse::service_unavailable().encode(false));
+                    let _ = stream.shutdown(std::net::Shutdown::Write);
+                    continue;
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                shared.active.fetch_add(1, Ordering::Relaxed);
+                let now = Instant::now();
+                shared.push(Conn {
+                    stream,
+                    buf: Vec::new(),
+                    out: Vec::new(),
+                    out_pos: 0,
+                    close_after_flush: false,
+                    pending: None,
+                    pending_keep_alive: true,
+                    saw_eof: false,
+                    served: 0,
+                    last_activity: now,
+                    next_check: now,
+                });
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
         }
     }
 }
 
-fn handle_connection<F>(stream: TcpStream, handler: &F)
-where
-    F: Fn(HttpRequest) -> HttpResponse,
-{
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    });
-    let response = match HttpRequest::parse(&mut reader) {
-        Some(request) => handler(request),
-        None => HttpResponse::bad_request("malformed request"),
+fn worker_loop(shared: Arc<Shared>, handler: Arc<Handler>, config: HttpServerConfig) {
+    // Not-yet-due connections skipped since the last productive visit (or
+    // nap).  Napping only after a full rotation's worth of skips keeps the
+    // wake-up latency at ~POLL_INTERVAL regardless of connection count —
+    // a due connection is reached by fast pop/requeue cycles, not behind a
+    // 1ms sleep per queued connection — while still idling the CPU when
+    // nothing is due anywhere.
+    let mut skipped: usize = 0;
+    loop {
+        let stopping = shared.stop.load(Ordering::Relaxed);
+        let Some(mut conn) = shared.pop() else {
+            return; // stop signalled and queue drained
+        };
+        if stopping {
+            // Drain mode: queue a pending response if it is ready right
+            // now, flush what the socket accepts, then close.  Clients
+            // mid-long-poll see EOF and re-poll.
+            if let Some(mut pending) = conn.pending.take() {
+                if let Some(resp) = pending() {
+                    conn.queue_response(&resp, false);
+                }
+            }
+            let _ = try_flush(&mut conn);
+            shared.active.fetch_sub(1, Ordering::Relaxed);
+            continue;
+        }
+        let now = Instant::now();
+        if conn.next_check > now {
+            let nap = (conn.next_check - now).min(Duration::from_millis(1));
+            shared.push(conn);
+            skipped += 1;
+            // This worker's share of a full rotation was all not-due:
+            // everything is waiting, so sleep instead of spinning.
+            let share = (shared.active.load(Ordering::Relaxed) / config.workers.max(1)).max(1);
+            if skipped > share {
+                skipped = 0;
+                std::thread::sleep(nap);
+            }
+            continue;
+        }
+        skipped = 0;
+        match service(conn, handler.as_ref(), &config, &shared) {
+            Some(conn) => shared.push(conn),
+            None => {
+                shared.active.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// One scheduling visit to a connection: flush queued output, ingest
+/// newly-arrived bytes, resolve a pending response if it is ready,
+/// dispatch every complete request, and decide whether the connection
+/// lives on.  Never blocks — reads, writes and long-polls are all
+/// deferred to later visits when the socket (or the data) is not ready.
+/// Returns the connection to requeue, or `None` when it is closed.
+fn service(
+    mut conn: Conn,
+    handler: &Handler,
+    config: &HttpServerConfig,
+    shared: &Shared,
+) -> Option<Conn> {
+    let mut progressed = false;
+
+    // 1. Flush output queued on earlier visits first: responses must hit
+    //    the wire in order, and a dead peer surfaces here cheapest.
+    if try_flush(&mut conn)? {
+        progressed = true;
+    }
+    if conn.out.len() - conn.out_pos > MAX_OUT_BUFFERED {
+        return None; // reader hopelessly behind
+    }
+
+    // 2. Ingest whatever bytes have arrived (non-blocking reads).
+    if !conn.saw_eof {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // Peer closed its write half — legal HTTP half-close.
+                    // No more requests will arrive, but everything already
+                    // buffered (including a pending long-poll) must still
+                    // be answered: the peer can still read.
+                    conn.saw_eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.buf.extend_from_slice(&chunk[..n]);
+                    // Input cap, enforced inside the loop (a saturated
+                    // socket keeps delivering full chunks without ever
+                    // hitting WouldBlock) and regardless of whether
+                    // dispatch below runs this visit (a pending long-poll
+                    // defers dispatch but must not defer the limit).
+                    if conn.buf.len() > MAX_IN_BUFFERED {
+                        return None;
+                    }
+                    conn.last_activity = Instant::now();
+                    progressed = true;
+                    if n < chunk.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return None,
+            }
+        }
+    }
+
+    // 3. A deferred response blocks everything behind it (responses stay
+    //    in order).  After a half-close it keeps waiting — the peer can
+    //    still read its answer — but must close once resolved, and a dead
+    //    (fully-closed) peer is bounded by the idle timeout in step 6
+    //    instead of holding its slot until the poll deadline.
+    if let Some(mut pending) = conn.pending.take() {
+        match pending() {
+            Some(resp) => {
+                let keep = conn.pending_keep_alive && !conn.saw_eof;
+                conn.queue_response(&resp, keep);
+                progressed = true;
+            }
+            None => {
+                conn.pending = Some(pending);
+            }
+        }
+    }
+
+    // 4. Dispatch every complete request in the buffer, stopping if one
+    //    goes pending (its successors stay buffered until it resolves), a
+    //    response has demanded close, or a non-reading client has a full
+    //    output buffer (the cap must hold within a visit too: a pipelined
+    //    burst of cheap requests for large responses would otherwise
+    //    amplify into unbounded memory before the next visit's check).
+    while conn.pending.is_none()
+        && !conn.close_after_flush
+        && conn.out.len() - conn.out_pos <= MAX_OUT_BUFFERED
+    {
+        match HttpRequest::parse_buf(&conn.buf) {
+            Parse::Complete(request, consumed) => {
+                conn.buf.drain(..consumed);
+                conn.served += 1;
+                shared.served_total.fetch_add(1, Ordering::Relaxed);
+                progressed = true;
+                let rotate = config.max_requests_per_connection > 0
+                    && conn.served >= config.max_requests_per_connection;
+                let keep = request.wants_keep_alive() && !rotate;
+                match handler(*request) {
+                    Outcome::Ready(resp) => conn.queue_response(&resp, keep && !conn.saw_eof),
+                    Outcome::Pending(mut pending) => {
+                        // Fast path: resolve immediately if the data is
+                        // already there (a poll with a new frame waiting).
+                        match pending() {
+                            Some(resp) => conn.queue_response(&resp, keep && !conn.saw_eof),
+                            None => {
+                                conn.pending = Some(pending);
+                                conn.pending_keep_alive = keep;
+                            }
+                        }
+                    }
+                }
+            }
+            Parse::Partial => break,
+            Parse::Invalid => {
+                conn.queue_response(&HttpResponse::bad_request("malformed request"), false);
+                break;
+            }
+        }
+    }
+
+    // 5. After EOF nothing further can arrive: close once everything
+    //    queued has been flushed (a half-closed peer can still read it).
+    if conn.saw_eof && conn.pending.is_none() {
+        conn.close_after_flush = true;
+    }
+
+    // 6. Idle keep-alive timeout.  This applies equally to a connection
+    //    stalled mid-request (`buf` non-empty) or mid-response-read
+    //    (`out` non-empty): a peer that stops moving bytes must not hold
+    //    a connection slot forever (slowloris).  `last_activity`
+    //    refreshes on every received and flushed byte, so slow-but-live
+    //    clients are unaffected.  A live pending long-poll is bounded by
+    //    its own deadline instead — unless the peer already closed its
+    //    write half, where the idle timeout caps how long a possibly-dead
+    //    socket can wait for a frame.
+    if (conn.pending.is_none() || conn.saw_eof) && conn.last_activity.elapsed() > config.keep_alive
+    {
+        return None;
+    }
+
+    // 7. Push freshly-queued output at the socket; close if this was the
+    //    connection's last response and it is fully out.
+    if try_flush(&mut conn)? {
+        progressed = true;
+    }
+    if conn.close_after_flush && conn.out_is_empty() && conn.pending.is_none() {
+        return None;
+    }
+
+    conn.next_check = if progressed {
+        Instant::now()
+    } else {
+        Instant::now() + POLL_INTERVAL
     };
-    let mut stream = stream;
-    let _ = stream.write_all(&response.encode());
-    let _ = stream.flush();
+    Some(conn)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::Cursor;
+    use std::io::BufReader;
+
+    fn parse_ok(raw: &[u8]) -> HttpRequest {
+        match HttpRequest::parse_buf(raw) {
+            Parse::Complete(req, consumed) => {
+                assert_eq!(consumed, raw.len(), "whole buffer consumed");
+                *req
+            }
+            other => panic!("expected complete parse, got {other:?}"),
+        }
+    }
 
     #[test]
     fn parses_get_with_query_and_headers() {
-        let raw = b"GET /api/poll?since=3&client=a%20b HTTP/1.1\r\nHost: x\r\nX-Test: 1\r\n\r\n";
-        let mut cursor = Cursor::new(raw.to_vec());
-        let req = HttpRequest::parse(&mut cursor).unwrap();
+        let req = parse_ok(
+            b"GET /api/poll?since=3&client=a%20b HTTP/1.1\r\nHost: x\r\nX-Test: 1\r\n\r\n",
+        );
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/api/poll");
+        assert_eq!(req.version, "HTTP/1.1");
         assert_eq!(req.query_param("since"), Some("3"));
         assert_eq!(req.query_param("client"), Some("a b"));
         assert_eq!(req.headers.get("x-test").map(String::as_str), Some("1"));
         assert!(req.body.is_empty());
+        assert!(req.wants_keep_alive());
     }
 
     #[test]
     fn parses_post_body_with_content_length() {
-        let raw = b"POST /api/steer HTTP/1.1\r\nContent-Length: 11\r\n\r\n{\"cfl\":0.2}";
-        let mut cursor = Cursor::new(raw.to_vec());
-        let req = HttpRequest::parse(&mut cursor).unwrap();
+        let req = parse_ok(b"POST /api/steer HTTP/1.1\r\nContent-Length: 11\r\n\r\n{\"cfl\":0.2}");
         assert_eq!(req.method, "POST");
         assert_eq!(req.body, b"{\"cfl\":0.2}");
     }
 
     #[test]
-    fn malformed_requests_are_rejected() {
-        let mut cursor = Cursor::new(b"".to_vec());
-        assert!(HttpRequest::parse(&mut cursor).is_none());
+    fn partial_requests_wait_for_more_bytes() {
+        assert!(matches!(HttpRequest::parse_buf(b""), Parse::Partial));
+        assert!(matches!(
+            HttpRequest::parse_buf(b"GET /x HTTP/1.1\r\nHost:"),
+            Parse::Partial
+        ));
+        // Headers complete but body still in flight.
+        assert!(matches!(
+            HttpRequest::parse_buf(b"POST /s HTTP/1.1\r\nContent-Length: 5\r\n\r\nab"),
+            Parse::Partial
+        ));
+    }
+
+    #[test]
+    fn malformed_and_oversized_requests_are_invalid() {
+        assert!(matches!(
+            HttpRequest::parse_buf(b"\r\n\r\n"),
+            Parse::Invalid
+        ));
+        let huge = vec![b'a'; MAX_HEADER_BYTES + 8];
+        assert!(matches!(HttpRequest::parse_buf(&huge), Parse::Invalid));
+        let bomb = b"POST /x HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n";
+        assert!(matches!(HttpRequest::parse_buf(bomb), Parse::Invalid));
+    }
+
+    #[test]
+    fn bare_lf_requests_are_not_framed_by_a_later_crlf_terminator() {
+        // A bare-LF request pipelined before a CRLF request: the earliest
+        // terminator must win, or /b's bytes would be swallowed as /a's
+        // header block.
+        let raw = b"GET /a HTTP/1.1\n\nGET /b HTTP/1.1\r\n\r\n".to_vec();
+        let Parse::Complete(first, consumed) = HttpRequest::parse_buf(&raw) else {
+            panic!("first request should parse");
+        };
+        assert_eq!(first.path, "/a");
+        let Parse::Complete(second, consumed2) = HttpRequest::parse_buf(&raw[consumed..]) else {
+            panic!("second request should parse");
+        };
+        assert_eq!(second.path, "/b");
+        assert_eq!(consumed + consumed2, raw.len());
+        // A bare-LF POST whose body contains CRLFCRLF frames correctly too.
+        let raw = b"POST /s HTTP/1.1\nContent-Length: 8\n\nab\r\n\r\ncd".to_vec();
+        let Parse::Complete(req, consumed) = HttpRequest::parse_buf(&raw) else {
+            panic!("bare-LF POST should parse");
+        };
+        assert_eq!(req.body, b"ab\r\n\r\ncd");
+        assert_eq!(consumed, raw.len());
+    }
+
+    #[test]
+    fn pipelined_requests_consume_exactly_their_bytes() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n".to_vec();
+        let Parse::Complete(first, consumed) = HttpRequest::parse_buf(&raw) else {
+            panic!("first request should parse");
+        };
+        assert_eq!(first.path, "/a");
+        let Parse::Complete(second, consumed2) = HttpRequest::parse_buf(&raw[consumed..]) else {
+            panic!("second request should parse");
+        };
+        assert_eq!(second.path, "/b");
+        assert_eq!(consumed + consumed2, raw.len());
+    }
+
+    #[test]
+    fn keep_alive_defaults_follow_http_version_and_connection_header() {
+        let v11 = parse_ok(b"GET / HTTP/1.1\r\n\r\n");
+        assert!(v11.wants_keep_alive());
+        let v10 = parse_ok(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(!v10.wants_keep_alive());
+        let close = parse_ok(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(!close.wants_keep_alive());
+        let ka10 = parse_ok(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(ka10.wants_keep_alive());
     }
 
     #[test]
@@ -307,34 +1081,303 @@ mod tests {
     }
 
     #[test]
-    fn response_encoding_includes_length_and_body() {
+    fn response_encoding_includes_length_connection_and_body() {
         let resp = HttpResponse::ok("text/plain", "hello");
-        let wire = String::from_utf8(resp.encode()).unwrap();
+        let wire = String::from_utf8(resp.encode(true)).unwrap();
         assert!(wire.starts_with("HTTP/1.1 200 OK"));
         assert!(wire.contains("Content-Length: 5"));
+        assert!(wire.contains("Connection: keep-alive"));
         assert!(wire.ends_with("hello"));
+        let wire = String::from_utf8(resp.encode(false)).unwrap();
+        assert!(wire.contains("Connection: close"));
         assert_eq!(HttpResponse::not_found().status, 404);
         assert_eq!(HttpResponse::bad_request("x").status, 400);
+        assert_eq!(HttpResponse::service_unavailable().status, 503);
         let json = HttpResponse::json(&serde_json::json!({"ok": true}));
         assert_eq!(json.content_type, "application/json");
+        let shared = HttpResponse::json_shared(Arc::from("{\"a\":1}"));
+        assert_eq!(shared.body.as_bytes(), b"{\"a\":1}");
+        assert_eq!(shared.body, Body::Owned(b"{\"a\":1}".to_vec()));
+    }
+
+    /// One response off a blocking stream, via the shared client-side
+    /// reader.
+    fn read_response(reader: &mut BufReader<TcpStream>) -> (u16, Vec<u8>) {
+        let (status, _, body) = read_blocking_response(reader).unwrap();
+        (status, body)
     }
 
     #[test]
-    fn server_round_trip_over_a_real_socket() {
-        use std::io::Read;
+    fn keep_alive_serves_many_requests_on_one_connection() {
         let server = HttpServer::start("127.0.0.1:0", |req| {
-            HttpResponse::ok("text/plain", format!("you asked for {}", req.path))
+            HttpResponse::ok("text/plain", format!("you asked for {}", req.path)).into()
+        })
+        .unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        for i in 0..5 {
+            writer
+                .write_all(format!("GET /req{i} HTTP/1.1\r\nHost: l\r\n\r\n").as_bytes())
+                .unwrap();
+            let (status, body) = read_response(&mut reader);
+            assert_eq!(status, 200);
+            assert_eq!(body, format!("you asked for /req{i}").as_bytes());
+        }
+        assert_eq!(server.requests_served(), 5);
+        assert_eq!(server.active_connections(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_get_ordered_responses() {
+        let server = HttpServer::start("127.0.0.1:0", |req| {
+            HttpResponse::ok("text/plain", req.path).into()
+        })
+        .unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writer
+            .write_all(
+                b"GET /one HTTP/1.1\r\n\r\nGET /two HTTP/1.1\r\n\r\nGET /three HTTP/1.1\r\n\r\n",
+            )
+            .unwrap();
+        for expect in ["/one", "/two", "/three"] {
+            let (status, body) = read_response(&mut reader);
+            assert_eq!(status, 200);
+            assert_eq!(body, expect.as_bytes());
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_close_is_honoured() {
+        let server = HttpServer::start("127.0.0.1:0", |_| {
+            HttpResponse::ok("text/plain", "bye").into()
+        })
+        .unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream
+            .write_all(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        let mut reader = BufReader::new(stream);
+        reader.read_to_string(&mut response).unwrap(); // EOF only if closed
+        assert!(response.contains("Connection: close"));
+        assert!(response.ends_with("bye"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn pending_outcomes_long_poll_without_blocking_workers() {
+        // One worker, several waiting clients: with thread-per-poll this
+        // would deadlock; with deferred responses one worker serves all.
+        let released = Arc::new(AtomicBool::new(false));
+        let released2 = released.clone();
+        let config = HttpServerConfig {
+            workers: 1,
+            ..HttpServerConfig::default()
+        };
+        let server = HttpServer::start_with("127.0.0.1:0", config, move |_| {
+            let released = released2.clone();
+            let deadline = Instant::now() + Duration::from_secs(5);
+            Outcome::Pending(Box::new(move || {
+                if released.load(Ordering::Relaxed) {
+                    Some(HttpResponse::ok("text/plain", "released"))
+                } else if Instant::now() >= deadline {
+                    Some(HttpResponse::ok("text/plain", "timeout"))
+                } else {
+                    None
+                }
+            }))
         })
         .unwrap();
         let addr = server.addr();
-        let mut stream = TcpStream::connect(addr).unwrap();
+        let clients: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let stream = TcpStream::connect(addr).unwrap();
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(10)))
+                        .unwrap();
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut writer = stream;
+                    writer.write_all(b"GET /wait HTTP/1.1\r\n\r\n").unwrap();
+                    read_response(&mut reader)
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(100));
+        released.store(true, Ordering::Relaxed);
+        for client in clients {
+            let (status, body) = client.join().unwrap();
+            assert_eq!(status, 200);
+            assert_eq!(body, b"released");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn half_closed_long_polls_still_receive_their_response() {
+        // HTTP half-close is legal: a client that shuts down its write
+        // side after sending a long-poll must still get the response when
+        // it resolves (and the connection closes right after).
+        let released = Arc::new(AtomicBool::new(false));
+        let released2 = released.clone();
+        let server = HttpServer::start("127.0.0.1:0", move |_| {
+            let released = released2.clone();
+            let deadline = Instant::now() + Duration::from_secs(5);
+            Outcome::Pending(Box::new(move || {
+                if released.load(Ordering::Relaxed) {
+                    Some(HttpResponse::ok("text/plain", "late"))
+                } else if Instant::now() >= deadline {
+                    Some(HttpResponse::ok("text/plain", "timeout"))
+                } else {
+                    None
+                }
+            }))
+        })
+        .unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
         stream
-            .write_all(b"GET /hello HTTP/1.1\r\nHost: localhost\r\n\r\n")
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.write_all(b"GET /wait HTTP/1.1\r\n\r\n").unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        released.store(true, Ordering::Relaxed);
+        let mut response = String::new();
+        let mut reader = BufReader::new(stream);
+        reader.read_to_string(&mut response).unwrap();
+        assert!(response.ends_with("late"), "got: {response}");
+        assert!(response.contains("Connection: close"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_limit_returns_503() {
+        let config = HttpServerConfig {
+            workers: 2,
+            max_connections: 1,
+            ..HttpServerConfig::default()
+        };
+        let server = HttpServer::start_with("127.0.0.1:0", config, |_| {
+            HttpResponse::ok("text/plain", "hi").into()
+        })
+        .unwrap();
+        // First connection occupies the single slot.
+        let first = TcpStream::connect(server.addr()).unwrap();
+        // Wait until the acceptor has registered it.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.active_connections() < 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(server.active_connections(), 1);
+        let second = TcpStream::connect(server.addr()).unwrap();
+        second
+            .set_read_timeout(Some(Duration::from_secs(5)))
             .unwrap();
         let mut response = String::new();
-        stream.read_to_string(&mut response).unwrap();
-        assert!(response.contains("200 OK"));
-        assert!(response.contains("you asked for /hello"));
+        let mut reader = BufReader::new(second.try_clone().unwrap());
+        reader.read_to_string(&mut response).unwrap();
+        assert!(response.contains("503"), "got: {response}");
+        drop(first);
+        server.shutdown();
+    }
+
+    #[test]
+    fn requests_buffered_at_eof_are_still_answered() {
+        // The client writes its request and immediately half-closes; the
+        // fully-buffered request must still get a response.
+        let server = HttpServer::start("127.0.0.1:0", |req| {
+            HttpResponse::ok("text/plain", req.path).into()
+        })
+        .unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream.write_all(b"GET /flush HTTP/1.1\r\n\r\n").unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut response = String::new();
+        let mut reader = BufReader::new(stream);
+        reader.read_to_string(&mut response).unwrap();
+        assert!(response.contains("200 OK"), "got: {response}");
+        assert!(response.ends_with("/flush"), "got: {response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn stalled_partial_requests_are_timed_out_not_parked_forever() {
+        // Slowloris guard: a connection that sends half a request and goes
+        // silent must be closed at the keep-alive timeout, freeing its
+        // connection slot.
+        let config = HttpServerConfig {
+            workers: 1,
+            keep_alive: Duration::from_millis(100),
+            ..HttpServerConfig::default()
+        };
+        let server = HttpServer::start_with("127.0.0.1:0", config, |_| {
+            HttpResponse::ok("text/plain", "x").into()
+        })
+        .unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream.write_all(b"GET / HTTP/1.1\r\nX-Half:").unwrap(); // never finished
+        let mut reader = BufReader::new(stream);
+        let mut rest = String::new();
+        // The server closes the socket (EOF) without a response once the
+        // idle timeout passes.
+        reader.read_to_string(&mut rest).unwrap();
+        assert!(rest.is_empty(), "no response expected, got: {rest}");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.active_connections() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(server.active_connections(), 0, "slot must be freed");
+        server.shutdown();
+    }
+
+    #[test]
+    fn graceful_shutdown_joins_all_threads() {
+        let server = HttpServer::start("127.0.0.1:0", |_| {
+            HttpResponse::ok("text/plain", "x").into()
+        })
+        .unwrap();
+        let addr = server.addr();
+        // A connection parked in a long keep-alive must not wedge shutdown.
+        let _idle = TcpStream::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        server.shutdown(); // joins; the test passes iff this returns
+    }
+
+    #[test]
+    fn malformed_requests_get_400_and_close() {
+        let server = HttpServer::start("127.0.0.1:0", |_| {
+            HttpResponse::ok("text/plain", "x").into()
+        })
+        .unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream.write_all(b"\r\n\r\n").unwrap();
+        let mut response = String::new();
+        let mut reader = BufReader::new(stream);
+        reader.read_to_string(&mut response).unwrap();
+        assert!(response.contains("400"), "got: {response}");
         server.shutdown();
     }
 }

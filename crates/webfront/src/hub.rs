@@ -1,18 +1,43 @@
-//! The session hub: frames out, steering commands in.
+//! The session hub: frames out, steering commands in — encoded exactly once.
 //!
-//! The hub is the piece that makes the front end "Ajax": the visualization
-//! side publishes numbered frames (rendered images plus monitored state) and
-//! any number of browser clients long-poll for the next frame they have not
-//! seen, so only the image component of the page updates when new data
-//! arrives.  Steering commands posted by clients are queued for the
-//! simulation side to drain between cycles.
+//! The hub is the piece that makes the front end both "Ajax" and scalable:
+//!
+//! * **Publish → encode once.**  When the visualization side publishes a
+//!   frame, the hub base64/JSON-encodes it *once* into a shared `Arc<str>`
+//!   payload ([`FramePayload`]).  Every poller — one browser or a thousand —
+//!   receives a clone of the same `Arc`; per-client cost is a lookup plus a
+//!   reference-count bump, never a re-encode.  [`SessionHub::encode_count`]
+//!   certifies this (it grows with publishes, not with pollers).
+//! * **Delta frames.**  Alongside the full payload, publish computes the
+//!   changed-tile difference to the *previous* frame ([`diff_images`]) and
+//!   caches a delta payload.  A poller that is exactly one frame behind and
+//!   asks for [`PollMode::Delta`] receives only the tiles that changed —
+//!   the paper's "partial screen updates" carried through to the wire.  The
+//!   delta is kept only when it is smaller than the full payload, and any
+//!   poller further behind (or a resized frame) silently falls back to the
+//!   full frame, so delta mode is never worse and always exact:
+//!   [`apply_delta`] reconstructs the full frame bit-for-bit.
+//! * **Per-client cursors.**  Clients may register ([`SessionHub::register_client`])
+//!   and let the hub remember their last-delivered sequence, instead of
+//!   carrying `since` themselves.  The registry is bounded: at capacity the
+//!   stalest client (oldest activity) is evicted and simply re-registers on
+//!   its next poll — slow pollers cannot pin hub memory.
+//!
+//! Steering commands posted by clients are queued in a [`SteeringInbox`]
+//! for the simulation side to drain between cycles.
+//!
+//! See DESIGN.md §7 for the state machine and the delta exactness argument.
 
 use parking_lot::{Condvar, Mutex};
 use ricsa_hydro::steering::SteerableParams;
+use ricsa_viz::image::Image;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Tile edge length (pixels) used for delta frames.
+pub const DELTA_TILE: usize = 32;
 
 /// One published frame.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -30,10 +55,348 @@ pub struct Frame {
     pub monitors: Vec<(String, f64)>,
 }
 
+/// Which wire encoding a poller asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PollMode {
+    /// Always the complete frame.
+    Full,
+    /// The changed-tile delta when the poller is exactly one frame behind
+    /// and a delta is cached; the full frame otherwise.
+    Delta,
+}
+
+/// A ready-to-serve poll response: the shared JSON payload for one frame.
+#[derive(Debug, Clone)]
+pub struct FramePayload {
+    /// Sequence number of the frame this payload carries the client to.
+    pub sequence: u64,
+    /// The JSON body, shared across every client that receives this frame.
+    pub json: Arc<str>,
+    /// Whether this is the delta encoding (tiles only) or the full frame.
+    pub is_delta: bool,
+}
+
+// ---------------------------------------------------------------- base64
+
+/// Base64 encoding (standard alphabet, with padding) for frame payloads.
+pub fn base64_encode(data: &[u8]) -> String {
+    const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [
+            chunk[0],
+            *chunk.get(1).unwrap_or(&0),
+            *chunk.get(2).unwrap_or(&0),
+        ];
+        let n = ((b[0] as u32) << 16) | ((b[1] as u32) << 8) | b[2] as u32;
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[n as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Decode standard base64 (the inverse of [`base64_encode`]); `None` on
+/// any non-alphabet byte or truncated quantum.
+pub fn base64_decode(s: &str) -> Option<Vec<u8>> {
+    fn value(c: u8) -> Option<u32> {
+        match c {
+            b'A'..=b'Z' => Some((c - b'A') as u32),
+            b'a'..=b'z' => Some((c - b'a' + 26) as u32),
+            b'0'..=b'9' => Some((c - b'0' + 52) as u32),
+            b'+' => Some(62),
+            b'/' => Some(63),
+            _ => None,
+        }
+    }
+    let bytes = s.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for chunk in bytes.chunks(4) {
+        let pad = chunk.iter().filter(|&&c| c == b'=').count();
+        if pad > 2 || chunk[..4 - pad].contains(&b'=') {
+            return None;
+        }
+        let mut n: u32 = 0;
+        for &c in &chunk[..4 - pad] {
+            n = (n << 6) | value(c)?;
+        }
+        n <<= 6 * pad as u32;
+        out.push((n >> 16) as u8);
+        if pad < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(n as u8);
+        }
+    }
+    Some(out)
+}
+
+// ------------------------------------------------------------ delta tiles
+
+/// One changed tile: rectangle origin and size in pixels, plus its raw
+/// RGBA bytes (row-major within the rectangle).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TilePatch {
+    /// Left edge of the rectangle.
+    pub x: usize,
+    /// Top edge of the rectangle.
+    pub y: usize,
+    /// Rectangle width (≤ [`DELTA_TILE`]; smaller at the right edge).
+    pub w: usize,
+    /// Rectangle height (≤ [`DELTA_TILE`]; smaller at the bottom edge).
+    pub h: usize,
+    /// Raw RGBA bytes of the rectangle.
+    pub data: Vec<u8>,
+}
+
+/// The changed-tile difference between two equally-sized images.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameDelta {
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Tile edge length the grid was cut with.
+    pub tile: usize,
+    /// Tiles whose bytes differ, in row-major tile order.
+    pub tiles: Vec<TilePatch>,
+}
+
+/// Cut both images into a `tile`×`tile` grid and collect the tiles whose
+/// bytes differ.  `None` when the images are not the same size (a resize
+/// must ship a full frame).
+pub fn diff_images(prev: &Image, cur: &Image, tile: usize) -> Option<FrameDelta> {
+    if prev.width != cur.width || prev.height != cur.height || tile == 0 {
+        return None;
+    }
+    let mut tiles = Vec::new();
+    let mut y = 0;
+    while y < cur.height {
+        let h = tile.min(cur.height - y);
+        let mut x = 0;
+        while x < cur.width {
+            let w = tile.min(cur.width - x);
+            let mut changed = false;
+            for row in y..y + h {
+                let start = (row * cur.width + x) * 4;
+                let end = start + w * 4;
+                if prev.pixels[start..end] != cur.pixels[start..end] {
+                    changed = true;
+                    break;
+                }
+            }
+            if changed {
+                let mut data = Vec::with_capacity(w * h * 4);
+                for row in y..y + h {
+                    let start = (row * cur.width + x) * 4;
+                    data.extend_from_slice(&cur.pixels[start..start + w * 4]);
+                }
+                tiles.push(TilePatch { x, y, w, h, data });
+            }
+            x += tile;
+        }
+        y += tile;
+    }
+    Some(FrameDelta {
+        width: cur.width,
+        height: cur.height,
+        tile,
+        tiles,
+    })
+}
+
+/// Apply a delta to the frame it was computed against, reconstructing the
+/// successor frame exactly (`apply_delta(prev, diff(prev, cur)) == cur`).
+pub fn apply_delta(prev: &Image, delta: &FrameDelta) -> Image {
+    let mut out = prev.clone();
+    for patch in &delta.tiles {
+        let mut offset = 0;
+        for row in patch.y..patch.y + patch.h {
+            let start = (row * out.width + patch.x) * 4;
+            out.pixels[start..start + patch.w * 4]
+                .copy_from_slice(&patch.data[offset..offset + patch.w * 4]);
+            offset += patch.w * 4;
+        }
+    }
+    out
+}
+
+/// Parse a delta poll response (the wire JSON produced by the hub) back
+/// into its base sequence and [`FrameDelta`].  Used by tests and clients
+/// that reconstruct frames outside a browser.
+pub fn delta_from_json(value: &serde_json::Value) -> Option<(u64, FrameDelta)> {
+    if value.get("mode")?.as_str()? != "delta" {
+        return None;
+    }
+    let base = value.get("base_sequence")?.as_u64()?;
+    let width = value.get("width")?.as_u64()? as usize;
+    let height = value.get("height")?.as_u64()? as usize;
+    let tile = value.get("tile")?.as_u64()? as usize;
+    let mut tiles = Vec::new();
+    for t in value.get("tiles")?.as_array()? {
+        tiles.push(TilePatch {
+            x: t.get("x")?.as_u64()? as usize,
+            y: t.get("y")?.as_u64()? as usize,
+            w: t.get("w")?.as_u64()? as usize,
+            h: t.get("h")?.as_u64()? as usize,
+            data: base64_decode(t.get("data_base64")?.as_str()?)?,
+        });
+    }
+    Some((
+        base,
+        FrameDelta {
+            width,
+            height,
+            tile,
+            tiles,
+        },
+    ))
+}
+
+// -------------------------------------------------------------- encoding
+
+fn frame_header_json(frame: &Frame, epoch: u64) -> serde_json::Value {
+    serde_json::json!({
+        "sequence": frame.sequence,
+        "cycle": frame.cycle,
+        "time": frame.time,
+        "monitors": frame.monitors,
+        "epoch": epoch,
+    })
+}
+
+/// JSON-encode a complete frame (mode `full`) stamped with the hub's
+/// `epoch`.  This is the work the encode cache performs exactly once per
+/// publish; the `webfront_bench` criterion bench calls it directly to
+/// price the per-client-encode alternative.
+pub fn encode_frame_full(frame: &Frame, epoch: u64) -> String {
+    let mut value = frame_header_json(frame, epoch);
+    if let serde_json::Value::Object(map) = &mut value {
+        map.insert("mode".into(), serde_json::json!("full"));
+        map.insert(
+            "image_base64".into(),
+            serde_json::json!(base64_encode(&frame.image)),
+        );
+    }
+    value.to_string()
+}
+
+/// JSON-encode a delta frame (mode `delta`) against `base_sequence`,
+/// stamped with the hub's `epoch`.
+pub fn encode_frame_delta(
+    frame: &Frame,
+    epoch: u64,
+    base_sequence: u64,
+    delta: &FrameDelta,
+) -> String {
+    let tiles: Vec<serde_json::Value> = delta
+        .tiles
+        .iter()
+        .map(|t| {
+            serde_json::json!({
+                "x": t.x,
+                "y": t.y,
+                "w": t.w,
+                "h": t.h,
+                "data_base64": base64_encode(&t.data),
+            })
+        })
+        .collect();
+    let mut value = frame_header_json(frame, epoch);
+    if let serde_json::Value::Object(map) = &mut value {
+        map.insert("mode".into(), serde_json::json!("delta"));
+        map.insert("base_sequence".into(), serde_json::json!(base_sequence));
+        map.insert("width".into(), serde_json::json!(delta.width));
+        map.insert("height".into(), serde_json::json!(delta.height));
+        map.insert("tile".into(), serde_json::json!(delta.tile));
+        map.insert("tiles".into(), serde_json::Value::Array(tiles));
+    }
+    value.to_string()
+}
+
+// ------------------------------------------------------------------- hub
+
+/// One frame with its cached wire encodings.
+struct CachedFrame {
+    frame: Frame,
+    /// Full-frame payload, encoded once at publish.
+    full: Arc<str>,
+    /// Delta payload against the immediately preceding sequence number;
+    /// `None` for the first frame, after a resize, or when the delta would
+    /// not be meaningfully smaller than the full payload.
+    delta: Option<Arc<str>>,
+}
+
+struct ClientState {
+    cursor: u64,
+    /// Logical activity stamp (monotone counter, not wall-clock) — the
+    /// smallest stamp is the stalest client, evicted first.
+    last_touch: u64,
+}
+
 struct HubState {
-    frames: VecDeque<Frame>,
+    frames: VecDeque<CachedFrame>,
     latest_sequence: u64,
     capacity: usize,
+    clients: HashMap<u64, ClientState>,
+    next_client: u64,
+    max_clients: usize,
+    clock: u64,
+    encodes: u64,
+    /// Decoded image of the most recently published frame, kept so the
+    /// next publish can diff against it without re-decoding (and without
+    /// holding the lock while it does).
+    last_image: Option<(u64, Image)>,
+    /// Instance marker stamped into every payload: a client holding state
+    /// from a previous server incarnation sees the epoch change and knows
+    /// its pixel buffer and `since` cursor are stale (a delta against
+    /// another epoch must never be applied).
+    epoch: u64,
+    /// Sequence numbers claimed by publishers still encoding outside the
+    /// lock.  Frames above the smallest in-flight claim are withheld from
+    /// pollers — otherwise a poller could be handed N+1 while N is still
+    /// encoding, advance its cursor past N, and lose N forever.
+    in_flight: BTreeSet<u64>,
+}
+
+impl HubState {
+    /// The newest sequence number pollers may see: everything at or below
+    /// it is fully inserted.
+    fn visible_sequence(&self) -> u64 {
+        match self.in_flight.iter().next() {
+            Some(&oldest_claim) => oldest_claim - 1,
+            None => self.latest_sequence,
+        }
+    }
+}
+
+impl HubState {
+    fn touch(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn evict_to_capacity(&mut self) {
+        while self.clients.len() > self.max_clients {
+            let Some((&stalest, _)) = self.clients.iter().min_by_key(|(_, c)| c.last_touch) else {
+                return;
+            };
+            self.clients.remove(&stalest);
+        }
+    }
 }
 
 /// The frame hub shared between the visualization side and HTTP handlers.
@@ -49,14 +412,38 @@ impl Default for SessionHub {
 }
 
 impl SessionHub {
-    /// A hub retaining up to `capacity` recent frames.
+    /// A hub retaining up to `capacity` recent frames (client registry
+    /// bounded at 1024).
     pub fn new(capacity: usize) -> Self {
+        SessionHub::with_limits(capacity, 1024)
+    }
+
+    /// A hub retaining up to `capacity` frames and at most `max_clients`
+    /// registered client cursors (the stalest is evicted beyond that).
+    pub fn with_limits(capacity: usize, max_clients: usize) -> Self {
         SessionHub {
             state: Arc::new((
                 Mutex::new(HubState {
                     frames: VecDeque::new(),
                     latest_sequence: 0,
                     capacity: capacity.max(1),
+                    clients: HashMap::new(),
+                    next_client: 1,
+                    max_clients: max_clients.max(1),
+                    clock: 0,
+                    encodes: 0,
+                    last_image: None,
+                    // Keep the epoch within f64's exact-integer range
+                    // (2^53): JSON numbers — and the serde shim's Value —
+                    // are doubles, and a corrupted epoch would defeat the
+                    // restart detection it exists for.
+                    in_flight: BTreeSet::new(),
+                    epoch: (std::time::SystemTime::now()
+                        .duration_since(std::time::UNIX_EPOCH)
+                        .map(|d| d.as_nanos() as u64)
+                        .unwrap_or(1)
+                        & ((1 << 53) - 1))
+                        .max(1),
                 }),
                 Condvar::new(),
             )),
@@ -64,29 +451,146 @@ impl SessionHub {
     }
 
     /// Publish a frame; it is assigned the next sequence number, which is
-    /// returned.  Waiting pollers are woken.
+    /// returned.  The full payload — and, when profitable, the delta
+    /// against the previous frame — is encoded here, exactly once, no
+    /// matter how many clients will poll it.  Waiting pollers are woken.
+    ///
+    /// The encode/diff work happens *outside* the hub lock (pollers keep
+    /// being served while a frame is encoded); only sequence assignment
+    /// and cache insertion hold it.
     pub fn publish(&self, mut frame: Frame) -> u64 {
         let (lock, cvar) = &*self.state;
+
+        // Lock 1: claim a sequence number (marked in-flight so pollers are
+        // not handed a later frame first) and take the predecessor's
+        // decoded image for the diff.
+        let (seq, prev_image, epoch) = {
+            let mut state = lock.lock();
+            state.latest_sequence += 1;
+            let seq = state.latest_sequence;
+            state.in_flight.insert(seq);
+            (seq, state.last_image.take(), state.epoch)
+        };
+        frame.sequence = seq;
+
+        // Encode without the lock held.
+        let full: Arc<str> = Arc::from(encode_frame_full(&frame, epoch).as_str());
+        let cur_image = Image::decode_raw(&frame.image);
+        let mut delta_encodes = 0u64;
+        let delta = prev_image
+            .filter(|(prev_seq, _)| *prev_seq == seq - 1)
+            .zip(cur_image.as_ref())
+            .and_then(|((_, prev_img), cur_img)| diff_images(&prev_img, cur_img, DELTA_TILE))
+            .map(|delta| {
+                delta_encodes = 1; // real work even if discarded below
+                encode_frame_delta(&frame, epoch, seq - 1, &delta)
+            })
+            // A delta that is not meaningfully smaller than the full frame
+            // (most of the screen changed) is not worth caching or
+            // shipping: require at least a 10% saving.
+            .filter(|json| json.len() * 10 <= full.len() * 9)
+            .map(|json| Arc::from(json.as_str()));
+
+        // Lock 2: insert in sequence order (a racing publisher may have
+        // inserted a later frame while we encoded) and wake pollers.
         let mut state = lock.lock();
-        state.latest_sequence += 1;
-        frame.sequence = state.latest_sequence;
-        let seq = frame.sequence;
-        state.frames.push_back(frame);
+        state.encodes += 1 + delta_encodes;
+        state.in_flight.remove(&seq);
+        let at = state.frames.partition_point(|c| c.frame.sequence < seq);
+        state.frames.insert(at, CachedFrame { frame, full, delta });
         while state.frames.len() > state.capacity {
             state.frames.pop_front();
+        }
+        if let Some(cur) = cur_image {
+            // Keep the newest decoded image as the next diff base (racing
+            // publishers: only the latest sequence wins).
+            if state.last_image.as_ref().is_none_or(|(s, _)| *s < seq) {
+                state.last_image = Some((seq, cur));
+            }
         }
         cvar.notify_all();
         seq
     }
 
-    /// The sequence number of the most recent frame (0 if none yet).
+    /// The sequence number of the most recent fully published frame
+    /// (0 if none yet).  Sequence numbers claimed by publishers still
+    /// encoding are not reported — they are not yet observable.
     pub fn latest_sequence(&self) -> u64 {
-        self.state.0.lock().latest_sequence
+        self.state.0.lock().visible_sequence()
     }
 
-    /// The most recent frame, if any.
+    /// The most recent (fully published) frame, if any.
     pub fn latest_frame(&self) -> Option<Frame> {
-        self.state.0.lock().frames.back().cloned()
+        let state = self.state.0.lock();
+        let visible = state.visible_sequence();
+        state
+            .frames
+            .iter()
+            .rev()
+            .find(|c| c.frame.sequence <= visible)
+            .map(|c| c.frame.clone())
+    }
+
+    /// The hub's instance marker, stamped into every payload (`epoch`
+    /// field).  Clients must discard retained frame state when it changes:
+    /// a delta from one epoch is meaningless against pixels of another.
+    pub fn epoch(&self) -> u64 {
+        self.state.0.lock().epoch
+    }
+
+    /// Total encode passes performed (full + delta).  Grows with
+    /// publishes, never with pollers — the invariant the encode cache
+    /// exists to provide.
+    pub fn encode_count(&self) -> u64 {
+        self.state.0.lock().encodes
+    }
+
+    /// The full payload of the newest *cached* frame, if any.  This reads
+    /// the cache tail directly rather than going through
+    /// `latest_sequence()`, which during a publish is already bumped
+    /// before the frame's payload is inserted (sequence claim and cache
+    /// insertion are separate critical sections).
+    pub fn latest_payload(&self) -> Option<FramePayload> {
+        let state = self.state.0.lock();
+        let visible = state.visible_sequence();
+        state
+            .frames
+            .iter()
+            .rev()
+            .find(|c| c.frame.sequence <= visible)
+            .map(|cached| FramePayload {
+                sequence: cached.frame.sequence,
+                json: cached.full.clone(),
+                is_delta: false,
+            })
+    }
+
+    /// The shared payload for the oldest retained frame newer than
+    /// `since`, without waiting.  [`PollMode::Delta`] yields the delta
+    /// encoding only when the client is exactly one frame behind and a
+    /// delta was cached; everything else gets the full frame.
+    pub fn try_payload(&self, since: u64, mode: PollMode) -> Option<FramePayload> {
+        let state = self.state.0.lock();
+        let visible = state.visible_sequence();
+        let cached = state
+            .frames
+            .iter()
+            .find(|c| c.frame.sequence > since && c.frame.sequence <= visible)?;
+        let sequence = cached.frame.sequence;
+        if mode == PollMode::Delta && sequence == since + 1 {
+            if let Some(delta) = &cached.delta {
+                return Some(FramePayload {
+                    sequence,
+                    json: delta.clone(),
+                    is_delta: true,
+                });
+            }
+        }
+        Some(FramePayload {
+            sequence,
+            json: cached.full.clone(),
+            is_delta: false,
+        })
     }
 
     /// Long-poll: return the oldest retained frame newer than `since`,
@@ -97,8 +601,13 @@ impl SessionHub {
         let mut state = lock.lock();
         let deadline = std::time::Instant::now() + timeout;
         loop {
-            if state.latest_sequence > since {
-                let frame = state.frames.iter().find(|f| f.sequence > since).cloned();
+            let visible = state.visible_sequence();
+            if visible > since {
+                let frame = state
+                    .frames
+                    .iter()
+                    .find(|c| c.frame.sequence > since && c.frame.sequence <= visible)
+                    .map(|c| c.frame.clone());
                 if frame.is_some() {
                     return frame;
                 }
@@ -112,6 +621,62 @@ impl SessionHub {
                 return None;
             }
         }
+    }
+
+    // ------------------------------------------------------ client cursors
+
+    /// Register a polling client; returns its id.  The cursor starts at 0
+    /// (the next poll delivers the oldest retained frame).  At
+    /// `max_clients` the stalest registered client is evicted to make room.
+    pub fn register_client(&self) -> u64 {
+        let mut state = self.state.0.lock();
+        let id = state.next_client;
+        state.next_client += 1;
+        let stamp = state.touch();
+        state.clients.insert(
+            id,
+            ClientState {
+                cursor: 0,
+                last_touch: stamp,
+            },
+        );
+        state.evict_to_capacity();
+        id
+    }
+
+    /// The stored cursor for `client`, refreshing its activity stamp.
+    /// `None` when the client is unknown (never registered, or evicted as
+    /// stale — it should re-register).
+    pub fn client_cursor(&self, client: u64) -> Option<u64> {
+        let mut state = self.state.0.lock();
+        let stamp = state.touch();
+        let entry = state.clients.get_mut(&client)?;
+        entry.last_touch = stamp;
+        Some(entry.cursor)
+    }
+
+    /// Record that frame `sequence` has been served to `client` (cursors
+    /// only move forward).  Unknown ids are ignored — an evicted client
+    /// keeps polling statelessly until it re-registers.
+    ///
+    /// Cursor semantics are *at-most-once*: the cursor advances when the
+    /// response is computed, so a frame whose response is lost to a dying
+    /// connection is skipped, not re-delivered.  Clients that need
+    /// loss-proof resumption carry their own explicit `since` (as the
+    /// embedded page does); delivery-acknowledged cursors are a ROADMAP
+    /// follow-up.
+    pub fn update_cursor(&self, client: u64, sequence: u64) {
+        let mut state = self.state.0.lock();
+        let stamp = state.touch();
+        if let Some(entry) = state.clients.get_mut(&client) {
+            entry.cursor = entry.cursor.max(sequence);
+            entry.last_touch = stamp;
+        }
+    }
+
+    /// Number of registered clients.
+    pub fn client_count(&self) -> usize {
+        self.state.0.lock().clients.len()
     }
 }
 
@@ -155,13 +720,14 @@ impl SteeringInbox {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn frame(cycle: u64) -> Frame {
         Frame {
             sequence: 0,
             cycle,
             time: cycle as f64 * 0.1,
-            image: vec![1, 2, 3],
+            image: Image::filled(8, 8, [cycle as u8, 2, 3, 255]).encode_raw(),
             monitors: vec![("max_pressure".into(), 1.5)],
         }
     }
@@ -208,6 +774,326 @@ mod tests {
             .unwrap()
             .expect("poller should wake with the frame");
         assert_eq!(got.cycle, 9);
+    }
+
+    #[test]
+    fn payloads_are_encoded_once_and_shared_across_pollers() {
+        let hub = SessionHub::new(8);
+        hub.publish(frame(1));
+        let encodes_after_publish = hub.encode_count();
+        let first = hub.try_payload(0, PollMode::Full).unwrap();
+        for _ in 0..100 {
+            let p = hub.try_payload(0, PollMode::Full).unwrap();
+            assert!(Arc::ptr_eq(&p.json, &first.json), "same shared allocation");
+        }
+        assert_eq!(
+            hub.encode_count(),
+            encodes_after_publish,
+            "polling must not encode"
+        );
+        let value: serde_json::Value = serde_json::from_str(&first.json).unwrap();
+        assert_eq!(value["sequence"], 1);
+        assert_eq!(value["mode"], "full");
+    }
+
+    #[test]
+    fn delta_mode_serves_tiles_to_caught_up_pollers_and_full_to_laggards() {
+        let hub = SessionHub::new(8);
+        let mut img = Image::filled(64, 64, [10, 20, 30, 255]);
+        hub.publish(Frame {
+            image: img.encode_raw(),
+            ..frame(1)
+        });
+        // Change one pixel: exactly one tile differs.
+        img.set(5, 5, [200, 0, 0, 255]);
+        hub.publish(Frame {
+            image: img.encode_raw(),
+            ..frame(2)
+        });
+
+        let caught_up = hub.try_payload(1, PollMode::Delta).unwrap();
+        assert!(caught_up.is_delta);
+        let value: serde_json::Value = serde_json::from_str(&caught_up.json).unwrap();
+        assert_eq!(value["mode"], "delta");
+        assert_eq!(value["base_sequence"], 1);
+        assert_eq!(value["tiles"].as_array().unwrap().len(), 1);
+
+        // A poller two frames behind gets the full frame even in delta mode.
+        let laggard = hub.try_payload(0, PollMode::Delta).unwrap();
+        assert!(!laggard.is_delta);
+        // Full mode never serves deltas.
+        assert!(!hub.try_payload(1, PollMode::Full).unwrap().is_delta);
+    }
+
+    #[test]
+    fn delta_is_smaller_on_wire_and_skipped_when_not() {
+        let hub = SessionHub::new(8);
+        let base = Image::filled(64, 64, [1, 2, 3, 255]);
+        hub.publish(Frame {
+            image: base.encode_raw(),
+            ..frame(1)
+        });
+        let mut small_change = base.clone();
+        small_change.set(0, 0, [9, 9, 9, 255]);
+        hub.publish(Frame {
+            image: small_change.encode_raw(),
+            ..frame(2)
+        });
+        let delta = hub.try_payload(1, PollMode::Delta).unwrap();
+        let full = hub.try_payload(1, PollMode::Full).unwrap();
+        assert!(delta.is_delta);
+        assert!(
+            delta.json.len() < full.json.len() / 3,
+            "one-tile delta should be far smaller than the full frame"
+        );
+        // Now change every pixel: the delta would be larger than the full
+        // frame (per-tile overhead), so the hub falls back to full.
+        hub.publish(Frame {
+            image: Image::filled(64, 64, [7, 7, 7, 7]).encode_raw(),
+            ..frame(3)
+        });
+        assert!(!hub.try_payload(2, PollMode::Delta).unwrap().is_delta);
+    }
+
+    #[test]
+    fn delta_reconstruction_is_exact_on_random_frames() {
+        // Property test: for seeded random frame pairs, shipping the delta
+        // and applying it client-side reproduces the full frame exactly —
+        // including the JSON/base64 wire round trip.
+        let mut rng = StdRng::seed_from_u64(0xD31A);
+        for case in 0..40 {
+            let (w, h) = (1 + rng.gen_range(0..70), 1 + rng.gen_range(0..50));
+            let mut prev = Image::new(w, h);
+            for p in prev.pixels.iter_mut() {
+                *p = rng.gen_range(0..256) as u8;
+            }
+            let mut cur = prev.clone();
+            // Sparse random edits (possibly none).
+            let edits = rng.gen_range(0..40);
+            for _ in 0..edits {
+                let x = rng.gen_range(0..w);
+                let y = rng.gen_range(0..h);
+                cur.set(x, y, [rng.gen_range(0..256) as u8, 0, 255, 1]);
+            }
+            let delta = diff_images(&prev, &cur, DELTA_TILE).unwrap();
+            assert_eq!(apply_delta(&prev, &delta), cur, "case {case}: direct");
+
+            // Through the wire: encode, parse, decode, apply.
+            let f = Frame {
+                sequence: 2,
+                cycle: 2,
+                time: 0.2,
+                image: cur.encode_raw(),
+                monitors: vec![],
+            };
+            let json = encode_frame_delta(&f, 7, 1, &delta);
+            let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+            let (base, wire_delta) = delta_from_json(&value).unwrap();
+            assert_eq!(base, 1);
+            assert_eq!(
+                apply_delta(&prev, &wire_delta),
+                cur,
+                "case {case}: via JSON wire"
+            );
+        }
+    }
+
+    #[test]
+    fn diff_rejects_resizes_and_identical_frames_have_empty_deltas() {
+        let a = Image::filled(8, 8, [1, 1, 1, 1]);
+        let b = Image::filled(16, 8, [1, 1, 1, 1]);
+        assert!(diff_images(&a, &b, DELTA_TILE).is_none());
+        let d = diff_images(&a, &a, DELTA_TILE).unwrap();
+        assert!(d.tiles.is_empty());
+        assert_eq!(apply_delta(&a, &d), a);
+    }
+
+    #[test]
+    fn base64_round_trips_and_matches_known_vectors() {
+        assert_eq!(base64_encode(b""), "");
+        assert_eq!(base64_encode(b"f"), "Zg==");
+        assert_eq!(base64_encode(b"fo"), "Zm8=");
+        assert_eq!(base64_encode(b"foo"), "Zm9v");
+        assert_eq!(base64_encode(b"foobar"), "Zm9vYmFy");
+        assert_eq!(base64_decode("Zm9vYmFy").unwrap(), b"foobar");
+        assert_eq!(base64_decode("Zg==").unwrap(), b"f");
+        assert!(base64_decode("Zg=").is_none());
+        assert!(base64_decode("Z!==").is_none());
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let n = rng.gen_range(0..100);
+            let data: Vec<u8> = (0..n).map(|_| rng.gen_range(0..256) as u8).collect();
+            assert_eq!(base64_decode(&base64_encode(&data)).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn racing_pollers_see_every_sequence_exactly_once() {
+        // Many pollers race one publisher; capacity exceeds the frame
+        // count, so every poller must observe 1..=N with no loss and no
+        // duplication.
+        const FRAMES: u64 = 200;
+        const POLLERS: usize = 8;
+        let hub = SessionHub::new(FRAMES as usize + 1);
+        let pollers: Vec<_> = (0..POLLERS)
+            .map(|_| {
+                let hub = hub.clone();
+                std::thread::spawn(move || {
+                    let mut seen = Vec::new();
+                    let mut since = 0;
+                    while since < FRAMES {
+                        if let Some(f) = hub.poll_after(since, Duration::from_secs(10)) {
+                            seen.push(f.sequence);
+                            since = f.sequence;
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+        let publisher = {
+            let hub = hub.clone();
+            std::thread::spawn(move || {
+                for c in 1..=FRAMES {
+                    hub.publish(frame(c));
+                    if c.is_multiple_of(50) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            })
+        };
+        publisher.join().unwrap();
+        for poller in pollers {
+            let seen = poller.join().unwrap();
+            let expected: Vec<u64> = (1..=FRAMES).collect();
+            assert_eq!(seen, expected, "no lost or duplicated sequence numbers");
+        }
+        // At most one full + one delta encode per publish, independent of
+        // the number of pollers.
+        assert!(hub.encode_count() <= 2 * FRAMES);
+    }
+
+    #[test]
+    fn payloads_are_stamped_with_the_hub_epoch() {
+        // The epoch marks the server incarnation: a client must be able to
+        // detect a restart and discard retained pixels before applying a
+        // delta from the wrong epoch.
+        let hub = SessionHub::new(4);
+        let epoch = hub.epoch();
+        assert!(epoch > 0);
+        let mut img = Image::filled(64, 64, [9, 9, 9, 255]);
+        hub.publish(Frame {
+            image: img.encode_raw(),
+            ..frame(1)
+        });
+        img.set(0, 0, [1, 2, 3, 4]);
+        hub.publish(Frame {
+            image: img.encode_raw(),
+            ..frame(2)
+        });
+        for (since, mode) in [(0, PollMode::Full), (1, PollMode::Delta)] {
+            let payload = hub.try_payload(since, mode).unwrap();
+            let value: serde_json::Value = serde_json::from_str(&payload.json).unwrap();
+            assert_eq!(value["epoch"].as_u64(), Some(epoch));
+        }
+    }
+
+    #[test]
+    fn racing_publishers_keep_the_frame_cache_ordered() {
+        // publish() drops the hub lock while encoding, so two publishers
+        // can interleave; insertion must still keep the cache in sequence
+        // order so pollers walk it monotonically.
+        const PER_PUBLISHER: u64 = 100;
+        let hub = SessionHub::new(2 * PER_PUBLISHER as usize + 1);
+        let publishers: Vec<_> = (0..2)
+            .map(|_| {
+                let hub = hub.clone();
+                std::thread::spawn(move || {
+                    for c in 0..PER_PUBLISHER {
+                        hub.publish(frame(c));
+                    }
+                })
+            })
+            .collect();
+        for p in publishers {
+            p.join().unwrap();
+        }
+        assert_eq!(hub.latest_sequence(), 2 * PER_PUBLISHER);
+        let mut since = 0;
+        while let Some(f) = hub.poll_after(since, Duration::from_millis(5)) {
+            assert_eq!(f.sequence, since + 1, "cache must be gap-free and ordered");
+            since = f.sequence;
+        }
+        assert_eq!(since, 2 * PER_PUBLISHER);
+    }
+
+    #[test]
+    fn pollers_never_skip_frames_while_publishers_race() {
+        // Two publishers encode outside the hub lock, so frame N+1 can be
+        // inserted while N is still encoding; the in-flight visibility
+        // gate must withhold N+1 until N lands, or a live poller would
+        // advance past N and lose it.  Pollers run *during* the race and
+        // assert strict gap-free delivery.
+        const PER_PUBLISHER: u64 = 150;
+        let hub = SessionHub::new(2 * PER_PUBLISHER as usize + 1);
+        let pollers: Vec<_> = (0..4)
+            .map(|_| {
+                let hub = hub.clone();
+                std::thread::spawn(move || {
+                    let mut since = 0;
+                    while since < 2 * PER_PUBLISHER {
+                        if let Some(f) = hub.poll_after(since, Duration::from_secs(10)) {
+                            assert_eq!(
+                                f.sequence,
+                                since + 1,
+                                "a frame was skipped while publishers raced"
+                            );
+                            since = f.sequence;
+                        }
+                    }
+                })
+            })
+            .collect();
+        let publishers: Vec<_> = (0..2)
+            .map(|_| {
+                let hub = hub.clone();
+                std::thread::spawn(move || {
+                    for c in 0..PER_PUBLISHER {
+                        hub.publish(frame(c));
+                    }
+                })
+            })
+            .collect();
+        for p in publishers {
+            p.join().unwrap();
+        }
+        for p in pollers {
+            p.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn client_cursors_advance_and_stalest_client_is_evicted_at_capacity() {
+        let hub = SessionHub::with_limits(8, 2);
+        let a = hub.register_client();
+        let b = hub.register_client();
+        assert_eq!(hub.client_cursor(a), Some(0));
+        hub.publish(frame(1));
+        hub.update_cursor(a, 1);
+        assert_eq!(hub.client_cursor(a), Some(1));
+        // Cursors never move backwards.
+        hub.update_cursor(a, 0);
+        assert_eq!(hub.client_cursor(a), Some(1));
+        // `b` is now the stalest (a was touched since); registering a third
+        // client evicts b.
+        let c = hub.register_client();
+        assert_eq!(hub.client_count(), 2);
+        assert_eq!(hub.client_cursor(b), None, "stalest client evicted");
+        assert_eq!(hub.client_cursor(a), Some(1), "active client survives");
+        assert_eq!(hub.client_cursor(c), Some(0));
+        // Updates for evicted ids are ignored, not resurrected.
+        hub.update_cursor(b, 5);
+        assert_eq!(hub.client_cursor(b), None);
     }
 
     #[test]

@@ -1,29 +1,37 @@
-//! The Ajax web front end.
+//! The Ajax web front end — built to serve many browsers at once.
 //!
 //! The paper's user interface is a Google-Web-Toolkit Ajax page: the browser
 //! polls the front end with `XMLHttpRequest`, only the image component is
 //! updated when a new frame arrives ("partial screen updates"), and steering
 //! commands are posted back asynchronously.  This crate reproduces that
-//! interaction pattern without external web frameworks:
+//! interaction pattern without external web frameworks, and scales it:
 //!
-//! * [`http`] — a minimal HTTP/1.1 server over `std::net::TcpListener`
-//!   (threaded, one connection per request),
-//! * [`hub`] — the session hub: frames published by the visualization side,
-//!   long-polled by any number of browser clients, plus a steering inbox,
-//! * [`server`] — wiring the hub to HTTP routes (`/api/state`, `/api/frame`,
-//!   `/api/poll`, `/api/steer`) and serving the embedded single-page client,
+//! * [`http`] — an HTTP/1.1 server on a fixed worker thread pool with
+//!   keep-alive connections, pipelining-safe parsing, connection limits,
+//!   deferred (non-blocking) long-poll responses, and graceful shutdown,
+//! * [`hub`] — the session hub: frames published by the visualization side
+//!   are base64/JSON-encoded exactly once into shared `Arc<str>` payloads
+//!   (plus a changed-tile *delta* payload), long-polled by any number of
+//!   browser clients with per-client cursors, plus a steering inbox,
+//! * [`server`] — wiring the hub to HTTP routes (`/api/state`,
+//!   `/api/client`, `/api/frame`, `/api/poll`, `/api/steer`) and serving
+//!   the embedded single-page client,
 //! * [`page`] — the embedded HTML/JavaScript page (plain `XMLHttpRequest`
-//!   long polling, no external assets).
+//!   long polling in delta mode, no external assets).
 //!
 //! The front end is exercised end-to-end by `examples/web_steering.rs`,
 //! which steers a live `ricsa-hydro` simulation from the browser (or from
-//! `curl`).
+//! `curl`), and load-tested by the `webfront_load` benchmark binary
+//! (hundreds of concurrent pollers over real sockets).  DESIGN.md §7
+//! documents the serving-layer architecture.
+
+#![deny(missing_docs)]
 
 pub mod http;
 pub mod hub;
 pub mod page;
 pub mod server;
 
-pub use http::{HttpRequest, HttpResponse, HttpServer};
-pub use hub::{Frame, SessionHub, SteeringInbox};
-pub use server::FrontEndServer;
+pub use http::{HttpRequest, HttpResponse, HttpServer, HttpServerConfig, Outcome};
+pub use hub::{Frame, FramePayload, PollMode, SessionHub, SteeringInbox};
+pub use server::{FrontEndConfig, FrontEndServer};

@@ -1,9 +1,11 @@
 //! The embedded single-page Ajax client.
 //!
-//! A plain-JavaScript stand-in for the paper's GWT page: it long-polls
-//! `/api/poll` with `XMLHttpRequest`, redraws only the image canvas and the
-//! monitored values when a new frame arrives (partial screen update), and
-//! posts steering parameters to `/api/steer` without reloading the page.
+//! A plain-JavaScript stand-in for the paper's GWT page: it registers a
+//! client id, long-polls `/api/poll` with `XMLHttpRequest` in **delta
+//! mode**, and when a new frame arrives redraws only the image canvas and
+//! the monitored values (partial screen update) — a delta response patches
+//! only the changed tiles into the retained pixel buffer.  Steering
+//! parameters are posted to `/api/steer` without reloading the page.
 
 /// The HTML/JavaScript page served at `/`.
 pub const INDEX_HTML: &str = r#"<!DOCTYPE html>
@@ -44,16 +46,26 @@ pub const INDEX_HTML: &str = r#"<!DOCTYPE html>
 </div>
 <script>
 var lastSeq = 0;
-function drawFrame(frame) {
+var clientId = null;
+// Retained frame state: delta responses patch `pix` in place, so only the
+// changed tiles are decoded and redrawn (the paper's partial screen update
+// carried through to the wire).  `hubEpoch` marks which server incarnation
+// the retained pixels belong to — after a restart, deltas from the new
+// epoch must not be patched onto old-epoch pixels.  `forceFull` requests
+// the full encoding whenever there is no applicable pixel buffer (first
+// frame, unapplicable delta, epoch change) — the sequence cursor is kept,
+// so re-syncing never replays the retained backlog.
+var pix = null, pixW = 0, pixH = 0, hubEpoch = null, forceFull = true;
+
+function bytesOf(b64) { var s = atob(b64), a = new Uint8Array(s.length);
+  for (var i = 0; i < s.length; i++) { a[i] = s.charCodeAt(i); } return a; }
+
+function redraw(frame) {
   var canvas = document.getElementById('view');
+  canvas.width = pixW; canvas.height = pixH;
   var ctx = canvas.getContext('2d');
-  var bytes = atob(frame.image_base64);
-  // RICSAIMG header: 8 magic + 4 width + 4 height, then RGBA.
-  var w = (bytes.charCodeAt(8)) | (bytes.charCodeAt(9) << 8) | (bytes.charCodeAt(10) << 16);
-  var h = (bytes.charCodeAt(12)) | (bytes.charCodeAt(13) << 8) | (bytes.charCodeAt(14) << 16);
-  canvas.width = w; canvas.height = h;
-  var img = ctx.createImageData(w, h);
-  for (var i = 0; i < w * h * 4; i++) { img.data[i] = bytes.charCodeAt(16 + i); }
+  var img = ctx.createImageData(pixW, pixH);
+  img.data.set(pix);
   ctx.putImageData(img, 0, 0);
   var table = document.getElementById('monitors');
   table.innerHTML = '';
@@ -63,21 +75,69 @@ function drawFrame(frame) {
     row.insertCell().textContent = Number(m[1]).toPrecision(5);
   });
   document.getElementById('status').textContent =
-    'cycle ' + frame.cycle + '  t=' + Number(frame.time).toFixed(4) + '  frame #' + frame.sequence;
+    'cycle ' + frame.cycle + '  t=' + Number(frame.time).toFixed(4) +
+    '  frame #' + frame.sequence + (frame.mode === 'delta' ? '  (delta)' : '');
 }
+
+function applyFull(frame) {
+  var bytes = bytesOf(frame.image_base64);
+  // RICSAIMG header: 8 magic + 4 width + 4 height (LE), then RGBA.
+  pixW = bytes[8] | (bytes[9] << 8) | (bytes[10] << 16);
+  pixH = bytes[12] | (bytes[13] << 8) | (bytes[14] << 16);
+  pix = bytes.subarray(16);
+}
+
+function applyDelta(frame) {
+  frame.tiles.forEach(function(t) {
+    var data = bytesOf(t.data_base64), off = 0;
+    for (var row = t.y; row < t.y + t.h; row++) {
+      pix.set(data.subarray(off, off + t.w * 4), (row * pixW + t.x) * 4);
+      off += t.w * 4;
+    }
+  });
+}
+
+function drawFrame(frame) {
+  if (frame.mode === 'delta') {
+    if (!pix || frame.base_sequence !== lastSeq) { return false; } // need a full frame
+    applyDelta(frame);
+  } else {
+    applyFull(frame);
+  }
+  redraw(frame);
+  return true;
+}
+
+// Every poll response (frame or timeout) carries the hub epoch; a change
+// means the server restarted, so retained pixels and the since cursor are
+// both stale and must be reset before the next poll.
+function noteEpoch(resp) {
+  if (resp && resp.epoch !== undefined && resp.epoch !== hubEpoch) {
+    if (hubEpoch !== null) { pix = null; lastSeq = 0; forceFull = true; }
+    hubEpoch = resp.epoch;
+  }
+}
+
 function poll() {
   var xhr = new XMLHttpRequest();
-  xhr.open('GET', '/api/poll?since=' + lastSeq + '&timeout_ms=15000');
+  xhr.open('GET', '/api/poll?since=' + lastSeq + '&timeout_ms=15000' +
+    '&mode=' + (forceFull ? 'full' : 'delta') +
+    (clientId !== null ? '&client=' + clientId : ''));
   xhr.onload = function() {
     if (xhr.status === 200 && xhr.responseText) {
       var frame = JSON.parse(xhr.responseText);
-      if (frame && frame.sequence) { lastSeq = frame.sequence; drawFrame(frame); }
+      noteEpoch(frame);
+      if (frame && frame.sequence) {
+        if (drawFrame(frame)) { lastSeq = frame.sequence; forceFull = false; }
+        else { forceFull = true; } // unapplicable delta: refetch in full, same cursor
+      }
     }
     poll();
   };
   xhr.onerror = function() { setTimeout(poll, 1000); };
   xhr.send();
 }
+
 document.getElementById('steer').onclick = function() {
   var body = JSON.stringify({
     cfl: parseFloat(document.getElementById('cfl').value),
@@ -91,7 +151,27 @@ document.getElementById('steer').onclick = function() {
   xhr.setRequestHeader('Content-Type', 'application/json');
   xhr.send(body);
 };
-poll();
+
+// Register a client id so the hub tracks this browser's cursor, start the
+// cursor at the live head (no replay of the retained backlog), then start
+// the long-poll loop (polling works without the id too).
+(function() {
+  var xhr = new XMLHttpRequest();
+  xhr.open('GET', '/api/client');
+  xhr.onload = function() {
+    if (xhr.status === 200) {
+      try {
+        var reg = JSON.parse(xhr.responseText);
+        clientId = reg.client;
+        lastSeq = reg.latest_sequence || 0;
+        noteEpoch(reg);
+      } catch (e) {}
+    }
+    poll();
+  };
+  xhr.onerror = function() { poll(); };
+  xhr.send();
+})();
 </script>
 </body>
 </html>
@@ -106,6 +186,12 @@ mod tests {
         assert!(INDEX_HTML.contains("XMLHttpRequest"));
         assert!(INDEX_HTML.contains("/api/poll"));
         assert!(INDEX_HTML.contains("/api/steer"));
+        assert!(INDEX_HTML.contains("/api/client"));
+        assert!(INDEX_HTML.contains("&mode="));
+        assert!(INDEX_HTML.contains("'delta'"));
+        assert!(INDEX_HTML.contains("base_sequence"));
+        assert!(INDEX_HTML.contains("hubEpoch"));
+        assert!(INDEX_HTML.contains("forceFull"));
         assert!(INDEX_HTML.contains("RICSAIMG"));
     }
 }

@@ -4,53 +4,47 @@
 //!
 //! * `GET /` — the Ajax page,
 //! * `GET /api/state` — current frame sequence, cycle and monitors as JSON,
-//! * `GET /api/poll?since=N&timeout_ms=T` — long-poll for the next frame
-//!   newer than `N` (the `XMLHttpRequest` object-exchange of the paper),
+//! * `GET /api/client` — register a polling client, returning its id (the
+//!   hub then tracks the client's cursor server-side),
+//! * `GET /api/poll?since=N&timeout_ms=T&mode=full|delta&client=ID` —
+//!   long-poll for the next frame newer than `N` (the `XMLHttpRequest`
+//!   object-exchange of the paper).  `mode=delta` ships only the changed
+//!   image tiles when the client is exactly one frame behind; `client=ID`
+//!   lets the hub supply `since` from the stored cursor and advance it on
+//!   delivery.  The long poll never blocks a server worker: the route
+//!   returns a deferred [`Outcome::Pending`] the pool re-polls,
 //! * `GET /api/frame` — the latest frame immediately (or 404),
 //! * `POST /api/steer` — submit steering parameters as JSON.
+//!
+//! Poll responses come straight from the hub's encode-once cache as shared
+//! `Arc<str>` payloads — the route layer never re-encodes a frame.
 
-use crate::http::{HttpRequest, HttpResponse, HttpServer};
-use crate::hub::{Frame, SessionHub, SteeringInbox};
+use crate::http::{HttpRequest, HttpResponse, HttpServer, HttpServerConfig, Outcome};
+use crate::hub::{PollMode, SessionHub, SteeringInbox};
 use crate::page::INDEX_HTML;
 use ricsa_hydro::steering::SteerableParams;
 use std::net::SocketAddr;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Base64 encoding (standard alphabet, with padding) for frame images.
-fn base64_encode(data: &[u8]) -> String {
-    const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
-    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
-    for chunk in data.chunks(3) {
-        let b = [
-            chunk[0],
-            *chunk.get(1).unwrap_or(&0),
-            *chunk.get(2).unwrap_or(&0),
-        ];
-        let n = ((b[0] as u32) << 16) | ((b[1] as u32) << 8) | b[2] as u32;
-        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
-        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
-        out.push(if chunk.len() > 1 {
-            ALPHABET[(n >> 6) as usize & 63] as char
-        } else {
-            '='
-        });
-        out.push(if chunk.len() > 2 {
-            ALPHABET[n as usize & 63] as char
-        } else {
-            '='
-        });
-    }
-    out
+/// Sizing knobs for the whole front end: the HTTP pool plus the hub.
+#[derive(Debug, Clone)]
+pub struct FrontEndConfig {
+    /// HTTP pool configuration (workers, connection limit, keep-alive).
+    pub http: HttpServerConfig,
+    /// Frames retained by the hub for laggard pollers.
+    pub hub_capacity: usize,
+    /// Registered client-cursor ceiling (stalest evicted beyond it).
+    pub max_clients: usize,
 }
 
-fn frame_to_json(frame: &Frame) -> serde_json::Value {
-    serde_json::json!({
-        "sequence": frame.sequence,
-        "cycle": frame.cycle,
-        "time": frame.time,
-        "monitors": frame.monitors,
-        "image_base64": base64_encode(&frame.image),
-    })
+impl Default for FrontEndConfig {
+    fn default() -> Self {
+        FrontEndConfig {
+            http: HttpServerConfig::default(),
+            hub_capacity: 32,
+            max_clients: 1024,
+        }
+    }
 }
 
 /// The running Ajax front-end server.
@@ -62,14 +56,21 @@ pub struct FrontEndServer {
 
 impl FrontEndServer {
     /// Start the front end on `addr` (e.g. `"127.0.0.1:0"` for an ephemeral
-    /// port).  The returned hub/inbox handles are shared with the
-    /// visualization and simulation sides.
+    /// port) with the default [`FrontEndConfig`].  The returned hub/inbox
+    /// handles are shared with the visualization and simulation sides.
     pub fn start(addr: &str) -> std::io::Result<FrontEndServer> {
-        let hub = SessionHub::default();
+        FrontEndServer::start_with(addr, FrontEndConfig::default())
+    }
+
+    /// Start the front end with explicit pool/hub sizing.
+    pub fn start_with(addr: &str, config: FrontEndConfig) -> std::io::Result<FrontEndServer> {
+        let hub = SessionHub::with_limits(config.hub_capacity, config.max_clients);
         let inbox = SteeringInbox::new();
         let route_hub = hub.clone();
         let route_inbox = inbox.clone();
-        let http = HttpServer::start(addr, move |req| route(&route_hub, &route_inbox, req))?;
+        let http = HttpServer::start_with(addr, config.http, move |req| {
+            route(&route_hub, &route_inbox, req)
+        })?;
         Ok(FrontEndServer { http, hub, inbox })
     }
 
@@ -88,16 +89,26 @@ impl FrontEndServer {
         self.inbox.clone()
     }
 
-    /// Shut the server down.
+    /// Connections currently open.
+    pub fn active_connections(&self) -> usize {
+        self.http.active_connections()
+    }
+
+    /// Total HTTP requests served since start.
+    pub fn requests_served(&self) -> u64 {
+        self.http.requests_served()
+    }
+
+    /// Shut the server down gracefully (see [`HttpServer::shutdown`]).
     pub fn shutdown(self) {
         self.http.shutdown();
     }
 }
 
 /// Route a request (exposed for tests).
-pub fn route(hub: &SessionHub, inbox: &SteeringInbox, req: HttpRequest) -> HttpResponse {
+pub fn route(hub: &SessionHub, inbox: &SteeringInbox, req: HttpRequest) -> Outcome {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/") | ("GET", "/index.html") => HttpResponse::ok("text/html", INDEX_HTML),
+        ("GET", "/") | ("GET", "/index.html") => HttpResponse::ok("text/html", INDEX_HTML).into(),
         ("GET", "/api/state") => {
             let latest = hub.latest_frame();
             HttpResponse::json(&serde_json::json!({
@@ -106,53 +117,108 @@ pub fn route(hub: &SessionHub, inbox: &SteeringInbox, req: HttpRequest) -> HttpR
                 "time": latest.as_ref().map(|f| f.time),
                 "monitors": latest.as_ref().map(|f| f.monitors.clone()).unwrap_or_default(),
                 "pending_steering": inbox.len(),
+                "clients": hub.client_count(),
+                "epoch": hub.epoch(),
             }))
+            .into()
         }
-        ("GET", "/api/frame") => match hub.latest_frame() {
-            Some(frame) => HttpResponse::json(&frame_to_json(&frame)),
-            None => HttpResponse::not_found(),
+        ("GET", "/api/client") => {
+            let client = hub.register_client();
+            HttpResponse::json(&serde_json::json!({
+                "client": client,
+                "latest_sequence": hub.latest_sequence(),
+                "epoch": hub.epoch(),
+            }))
+            .into()
+        }
+        ("GET", "/api/frame") => match hub.latest_payload() {
+            Some(payload) => HttpResponse::json_shared(payload.json).into(),
+            None => HttpResponse::not_found().into(),
         },
         ("GET", "/api/poll") => {
-            let since: u64 = req
-                .query_param("since")
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(0);
+            let mode = match req.query_param("mode") {
+                Some("delta") => PollMode::Delta,
+                _ => PollMode::Full,
+            };
+            let client: Option<u64> = req.query_param("client").and_then(|s| s.parse().ok());
+            let since: u64 = match req.query_param("since").and_then(|s| s.parse().ok()) {
+                Some(n) => n,
+                // No explicit `since`: fall back to the stored cursor (0
+                // for unknown/evicted clients, delivering the oldest
+                // retained frame).
+                None => client.and_then(|c| hub.client_cursor(c)).unwrap_or(0),
+            };
             let timeout_ms: u64 = req
                 .query_param("timeout_ms")
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(15_000)
                 .min(60_000);
-            match hub.poll_after(since, Duration::from_millis(timeout_ms)) {
-                Some(frame) => HttpResponse::json(&frame_to_json(&frame)),
-                None => HttpResponse::json(&serde_json::json!({ "sequence": null })),
-            }
+            let deadline = Instant::now() + Duration::from_millis(timeout_ms);
+            let hub = hub.clone();
+            // Deferred response: the HTTP pool re-polls this closure until
+            // a frame arrives or the deadline passes.  No worker blocks.
+            Outcome::Pending(Box::new(move || {
+                if let Some(payload) = hub.try_payload(since, mode) {
+                    if let Some(client) = client {
+                        hub.update_cursor(client, payload.sequence);
+                    }
+                    return Some(HttpResponse::json_shared(payload.json));
+                }
+                if Instant::now() >= deadline {
+                    // The timeout response carries the epoch too: a client
+                    // whose stale `since` exceeds this incarnation's
+                    // counter would otherwise only see nulls and could
+                    // never detect the restart.
+                    return Some(HttpResponse::json(&serde_json::json!({
+                        "sequence": null,
+                        "epoch": hub.epoch(),
+                    })));
+                }
+                None
+            }))
         }
         ("POST", "/api/steer") => match serde_json::from_slice::<SteerableParams>(&req.body) {
             Ok(params) => {
                 inbox.post(params.sanitized());
-                HttpResponse::json(&serde_json::json!({ "accepted": true }))
+                HttpResponse::json(&serde_json::json!({ "accepted": true })).into()
             }
-            Err(e) => HttpResponse::bad_request(&format!("invalid steering parameters: {e}")),
+            Err(e) => {
+                HttpResponse::bad_request(&format!("invalid steering parameters: {e}")).into()
+            }
         },
-        _ => HttpResponse::not_found(),
+        _ => HttpResponse::not_found().into(),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hub::Frame;
     use std::collections::HashMap;
 
     fn get(path: &str, query: &[(&str, &str)]) -> HttpRequest {
         HttpRequest {
             method: "GET".into(),
             path: path.into(),
+            version: "HTTP/1.1".into(),
             query: query
                 .iter()
                 .map(|(k, v)| (k.to_string(), v.to_string()))
                 .collect(),
             headers: HashMap::new(),
             body: vec![],
+        }
+    }
+
+    fn resolve(outcome: Outcome) -> HttpResponse {
+        match outcome {
+            Outcome::Ready(resp) => resp,
+            Outcome::Pending(mut pending) => loop {
+                if let Some(resp) = pending() {
+                    break resp;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            },
         }
     }
 
@@ -173,24 +239,27 @@ mod tests {
     fn index_and_unknown_routes() {
         let hub = SessionHub::default();
         let inbox = SteeringInbox::new();
-        let index = route(&hub, &inbox, get("/", &[]));
+        let index = resolve(route(&hub, &inbox, get("/", &[])));
         assert_eq!(index.status, 200);
-        assert!(String::from_utf8_lossy(&index.body).contains("XMLHttpRequest"));
-        assert_eq!(route(&hub, &inbox, get("/nope", &[])).status, 404);
+        assert!(String::from_utf8_lossy(index.body.as_bytes()).contains("XMLHttpRequest"));
+        assert_eq!(resolve(route(&hub, &inbox, get("/nope", &[]))).status, 404);
     }
 
     #[test]
     fn state_and_frame_routes_reflect_published_frames() {
         let hub = SessionHub::default();
         let inbox = SteeringInbox::new();
-        assert_eq!(route(&hub, &inbox, get("/api/frame", &[])).status, 404);
+        assert_eq!(
+            resolve(route(&hub, &inbox, get("/api/frame", &[]))).status,
+            404
+        );
         hub.publish(sample_frame());
-        let state = route(&hub, &inbox, get("/api/state", &[]));
-        let value: serde_json::Value = serde_json::from_slice(&state.body).unwrap();
+        let state = resolve(route(&hub, &inbox, get("/api/state", &[])));
+        let value: serde_json::Value = serde_json::from_slice(state.body.as_bytes()).unwrap();
         assert_eq!(value["latest_sequence"], 1);
         assert_eq!(value["cycle"], 4);
-        let frame = route(&hub, &inbox, get("/api/frame", &[]));
-        let value: serde_json::Value = serde_json::from_slice(&frame.body).unwrap();
+        let frame = resolve(route(&hub, &inbox, get("/api/frame", &[])));
+        let value: serde_json::Value = serde_json::from_slice(frame.body.as_bytes()).unwrap();
         assert_eq!(value["sequence"], 1);
         let b64 = value["image_base64"].as_str().unwrap();
         assert!(b64.starts_with("UklDU0FJTUc")); // "RICSAIMG" in base64
@@ -201,19 +270,81 @@ mod tests {
         let hub = SessionHub::default();
         let inbox = SteeringInbox::new();
         hub.publish(sample_frame());
-        let poll = route(
+        let poll = resolve(route(
             &hub,
             &inbox,
             get("/api/poll", &[("since", "0"), ("timeout_ms", "10")]),
-        );
-        let value: serde_json::Value = serde_json::from_slice(&poll.body).unwrap();
+        ));
+        let value: serde_json::Value = serde_json::from_slice(poll.body.as_bytes()).unwrap();
         assert_eq!(value["sequence"], 1);
-        let empty = route(
+        assert_eq!(value["mode"], "full");
+        let empty = resolve(route(
             &hub,
             &inbox,
             get("/api/poll", &[("since", "1"), ("timeout_ms", "10")]),
-        );
-        let value: serde_json::Value = serde_json::from_slice(&empty.body).unwrap();
+        ));
+        let value: serde_json::Value = serde_json::from_slice(empty.body.as_bytes()).unwrap();
+        assert!(value["sequence"].is_null());
+    }
+
+    #[test]
+    fn poll_route_serves_deltas_in_delta_mode() {
+        let hub = SessionHub::default();
+        let inbox = SteeringInbox::new();
+        let mut img = ricsa_viz::image::Image::filled(64, 64, [10, 20, 30, 255]);
+        hub.publish(Frame {
+            image: img.encode_raw(),
+            ..sample_frame()
+        });
+        img.set(3, 3, [0, 0, 0, 0]);
+        hub.publish(Frame {
+            image: img.encode_raw(),
+            ..sample_frame()
+        });
+        let poll = resolve(route(
+            &hub,
+            &inbox,
+            get(
+                "/api/poll",
+                &[("since", "1"), ("timeout_ms", "10"), ("mode", "delta")],
+            ),
+        ));
+        let value: serde_json::Value = serde_json::from_slice(poll.body.as_bytes()).unwrap();
+        assert_eq!(value["mode"], "delta");
+        assert_eq!(value["base_sequence"], 1);
+        assert_eq!(value["sequence"], 2);
+    }
+
+    #[test]
+    fn client_registration_and_cursor_driven_polls() {
+        let hub = SessionHub::default();
+        let inbox = SteeringInbox::new();
+        let reg = resolve(route(&hub, &inbox, get("/api/client", &[])));
+        let value: serde_json::Value = serde_json::from_slice(reg.body.as_bytes()).unwrap();
+        let client = value["client"].as_u64().unwrap().to_string();
+        hub.publish(sample_frame());
+        // No `since`: the stored cursor (0) supplies it, and delivery
+        // advances it.
+        let poll = resolve(route(
+            &hub,
+            &inbox,
+            get(
+                "/api/poll",
+                &[("client", client.as_str()), ("timeout_ms", "10")],
+            ),
+        ));
+        let value: serde_json::Value = serde_json::from_slice(poll.body.as_bytes()).unwrap();
+        assert_eq!(value["sequence"], 1);
+        // The cursor advanced: the same cursor-driven poll now times out.
+        let empty = resolve(route(
+            &hub,
+            &inbox,
+            get(
+                "/api/poll",
+                &[("client", client.as_str()), ("timeout_ms", "10")],
+            ),
+        ));
+        let value: serde_json::Value = serde_json::from_slice(empty.body.as_bytes()).unwrap();
         assert!(value["sequence"].is_null());
     }
 
@@ -228,11 +359,12 @@ mod tests {
         let req = HttpRequest {
             method: "POST".into(),
             path: "/api/steer".into(),
+            version: "HTTP/1.1".into(),
             query: HashMap::new(),
             headers: HashMap::new(),
             body: body.to_string().into_bytes(),
         };
-        let resp = route(&hub, &inbox, req);
+        let resp = resolve(route(&hub, &inbox, req));
         assert_eq!(resp.status, 200);
         let queued = inbox.drain_latest().unwrap();
         assert!(
@@ -244,35 +376,36 @@ mod tests {
         let bad = HttpRequest {
             method: "POST".into(),
             path: "/api/steer".into(),
+            version: "HTTP/1.1".into(),
             query: HashMap::new(),
             headers: HashMap::new(),
             body: b"not json".to_vec(),
         };
-        assert_eq!(route(&hub, &inbox, bad).status, 400);
+        assert_eq!(resolve(route(&hub, &inbox, bad)).status, 400);
     }
 
     #[test]
-    fn base64_encoding_matches_known_vectors() {
-        assert_eq!(base64_encode(b""), "");
-        assert_eq!(base64_encode(b"f"), "Zg==");
-        assert_eq!(base64_encode(b"fo"), "Zm8=");
-        assert_eq!(base64_encode(b"foo"), "Zm9v");
-        assert_eq!(base64_encode(b"foobar"), "Zm9vYmFy");
-    }
-
-    #[test]
-    fn full_server_round_trip() {
-        use std::io::{Read, Write};
+    fn full_server_round_trip_with_keep_alive() {
+        use crate::http::read_blocking_response;
+        use std::io::{BufReader, Write};
         let server = FrontEndServer::start("127.0.0.1:0").unwrap();
         server.hub().publish(sample_frame());
-        let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        let stream = std::net::TcpStream::connect(server.addr()).unwrap();
         stream
-            .write_all(b"GET /api/state HTTP/1.1\r\nHost: localhost\r\n\r\n")
+            .set_read_timeout(Some(Duration::from_secs(5)))
             .unwrap();
-        let mut response = String::new();
-        stream.read_to_string(&mut response).unwrap();
-        assert!(response.contains("200 OK"));
-        assert!(response.contains("latest_sequence"));
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        // Two requests over one keep-alive connection.
+        for _ in 0..2 {
+            writer
+                .write_all(b"GET /api/state HTTP/1.1\r\nHost: localhost\r\n\r\n")
+                .unwrap();
+            let (status, _, body) = read_blocking_response(&mut reader).unwrap();
+            assert_eq!(status, 200);
+            assert!(String::from_utf8_lossy(&body).contains("latest_sequence"));
+        }
+        assert_eq!(server.requests_served(), 2);
         server.shutdown();
     }
 }

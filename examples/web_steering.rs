@@ -17,7 +17,7 @@ use ricsa::viz::isosurface::extract_isosurface;
 use ricsa::viz::render::render_mesh;
 use ricsa::vizdata::field::Dims;
 use ricsa::webfront::hub::Frame;
-use ricsa::webfront::server::FrontEndServer;
+use ricsa::webfront::server::{FrontEndConfig, FrontEndServer};
 
 fn main() {
     let cycles: u64 = std::env::var("RICSA_WEB_CYCLES")
@@ -25,15 +25,20 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(400);
 
-    let front_end = FrontEndServer::start("127.0.0.1:8640")
-        .or_else(|_| FrontEndServer::start("127.0.0.1:0"))
+    // The default pool (8 workers, 1024 connections) is far more than one
+    // browser needs; it is the same configuration the `webfront_load`
+    // bench drives with hundreds of concurrent pollers.
+    let config = FrontEndConfig::default();
+    let front_end = FrontEndServer::start_with("127.0.0.1:8640", config.clone())
+        .or_else(|_| FrontEndServer::start_with("127.0.0.1:0", config))
         .expect("bind the Ajax front end");
     println!(
         "RICSA Ajax front end listening on http://{}/",
         front_end.addr()
     );
     println!("  GET  /api/state   — monitored state as JSON");
-    println!("  GET  /api/poll    — long-poll for the next frame");
+    println!("  GET  /api/client  — register a polling client id");
+    println!("  GET  /api/poll    — long-poll for the next frame (mode=delta for tiles)");
     println!("  POST /api/steer   — submit steering parameters");
     let hub = front_end.hub();
     let inbox = front_end.inbox();

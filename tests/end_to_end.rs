@@ -160,6 +160,81 @@ fn simulation_to_web_front_end_round_trip() {
     front_end.shutdown();
 }
 
+/// The serving layer at the wire level: two frames that differ in a small
+/// region, fetched over one keep-alive socket — the delta poll must ship
+/// only the changed tiles yet reconstruct the full frame exactly.
+#[test]
+fn web_front_end_delta_polls_reconstruct_full_frames_over_http() {
+    use ricsa::viz::image::Image;
+    use ricsa::webfront::http::read_blocking_response;
+    use ricsa::webfront::hub::{apply_delta, base64_decode, delta_from_json};
+    use std::io::{BufReader, Write};
+
+    let front_end = FrontEndServer::start("127.0.0.1:0").expect("bind front end");
+    let hub = front_end.hub();
+    let mut img = Image::filled(96, 96, [40, 40, 40, 255]);
+    hub.publish(Frame {
+        sequence: 0,
+        cycle: 1,
+        time: 0.1,
+        image: img.encode_raw(),
+        monitors: vec![],
+    });
+    for y in 10..20 {
+        for x in 10..20 {
+            img.set(x, y, [250, 80, 10, 255]);
+        }
+    }
+    hub.publish(Frame {
+        sequence: 0,
+        cycle: 2,
+        time: 0.2,
+        image: img.encode_raw(),
+        monitors: vec![],
+    });
+
+    let stream = std::net::TcpStream::connect(front_end.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut fetch = |path: &str| -> serde_json::Value {
+        writer
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: l\r\n\r\n").as_bytes())
+            .unwrap();
+        let (status, _, body) = read_blocking_response(&mut reader).unwrap();
+        assert_eq!(status, 200, "GET {path}");
+        serde_json::from_slice(&body).unwrap()
+    };
+
+    // All three requests ride the same keep-alive connection.
+    let full1 = fetch("/api/poll?since=0&timeout_ms=100&mode=full");
+    assert_eq!(full1["sequence"], 1);
+    let prev = Image::decode_raw(&base64_decode(full1["image_base64"].as_str().unwrap()).unwrap())
+        .unwrap();
+
+    let delta2 = fetch("/api/poll?since=1&timeout_ms=100&mode=delta");
+    assert_eq!(delta2["mode"], "delta");
+    let (base, delta) = delta_from_json(&delta2).expect("parseable delta");
+    assert_eq!(base, 1);
+    assert!(
+        !delta.tiles.is_empty() && delta.tiles.len() <= 4,
+        "a 10x10 edit touches at most 4 tiles, got {}",
+        delta.tiles.len()
+    );
+
+    let latest = fetch("/api/frame");
+    let want = Image::decode_raw(&base64_decode(latest["image_base64"].as_str().unwrap()).unwrap())
+        .unwrap();
+    assert_eq!(
+        apply_delta(&prev, &delta),
+        want,
+        "delta reconstruction must equal the full frame"
+    );
+    front_end.shutdown();
+}
+
 /// The analytical model and the catalog agree across all three datasets:
 /// predicted delay is monotone in dataset size for every loop of Fig. 9.
 #[test]

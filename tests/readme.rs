@@ -68,6 +68,43 @@ fn readme_crate_map_covers_the_workspace() {
     );
 }
 
+/// The serving-layer section must show the load-bench command (the binary
+/// itself is existence-checked by `readme_commands_reference_existing_artifacts`)
+/// and the crate map must describe `crates/webfront` as the serving layer
+/// it now is, not the old one-thread-per-request server.
+#[test]
+fn readme_serving_layer_section_matches_the_code() {
+    let text = readme();
+    assert!(
+        text.contains("--bin webfront_load -- --quick"),
+        "README must show the webfront_load --quick command"
+    );
+    for promise in ["encode-once", "delta tiles", "keep-alive", "thread-pool"] {
+        assert!(
+            text.contains(promise),
+            "README serving-layer/crate-map text must mention '{promise}'"
+        );
+    }
+    // The promises hold against the actual crate surface.
+    use ricsa::webfront::http::HttpServerConfig;
+    use ricsa::webfront::hub::{PollMode, SessionHub};
+    let config = HttpServerConfig::default();
+    assert!(config.workers > 1, "thread-pool promise");
+    let hub = SessionHub::default();
+    hub.publish(ricsa::webfront::hub::Frame {
+        sequence: 0,
+        cycle: 1,
+        time: 0.0,
+        image: ricsa::viz::image::Image::filled(4, 4, [1, 2, 3, 255]).encode_raw(),
+        monitors: vec![],
+    });
+    let encodes = hub.encode_count();
+    for _ in 0..10 {
+        hub.try_payload(0, PollMode::Full);
+    }
+    assert_eq!(hub.encode_count(), encodes, "encode-once promise");
+}
+
 /// The quickstart snippet names the quickstart example; run the same flow
 /// through the library (at reduced scale) so the snippet's promise — plan,
 /// simulate, measure — actually holds.
