@@ -1,0 +1,207 @@
+//! Change-point detection with hysteresis.
+//!
+//! A link estimate drifts for two very different reasons: measurement
+//! jitter (burst/sleep pacing, ACK timing, cross-traffic noise) and a real
+//! capacity change.  The detector separates them with two rules:
+//!
+//! * a **relative drift threshold** — a sample only *arms* the detector
+//!   when it deviates from the tracked baseline by more than
+//!   `drift_threshold` (relative);
+//! * **hysteresis** — the deviation must persist for `hysteresis`
+//!   consecutive samples before a [`ChangePoint`] is confirmed.  A single
+//!   outlier resets the streak, so jitter can never trigger re-mapping
+//!   thrash.
+//!
+//! While un-armed, the baseline slowly tracks the smoothed signal, so
+//! benign drift inside the threshold band is absorbed instead of
+//! accumulating into a false positive.
+
+use serde::{Deserialize, Serialize};
+
+/// Detector tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Relative deviation from the baseline that arms the detector
+    /// (e.g. `0.3` = ±30 %).
+    pub drift_threshold: f64,
+    /// Consecutive deviating samples required to confirm a change point.
+    pub hysteresis: u32,
+    /// EWMA weight applied to incoming samples in `(0, 1]`.
+    pub alpha: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            drift_threshold: 0.3,
+            hysteresis: 2,
+            alpha: 0.5,
+        }
+    }
+}
+
+/// A confirmed change: the level the signal left and the level it reached.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChangePoint {
+    /// The baseline before the change.
+    pub old_level: f64,
+    /// The smoothed level after the change (the new baseline).
+    pub new_level: f64,
+}
+
+impl ChangePoint {
+    /// `new_level / old_level` — the scale factor the observed quantity
+    /// changed by (guarded against a degenerate zero baseline).
+    pub fn scale(&self) -> f64 {
+        self.new_level / self.old_level.max(1e-12)
+    }
+}
+
+/// Streaming change-point detector for one scalar signal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChangePointDetector {
+    config: DetectorConfig,
+    /// Smoothed signal (None until the first sample).
+    ewma: Option<f64>,
+    /// Level the detector currently considers "normal".
+    baseline: Option<f64>,
+    /// Consecutive samples beyond the threshold.
+    streak: u32,
+}
+
+impl ChangePointDetector {
+    /// A detector with the given configuration.
+    pub fn new(config: DetectorConfig) -> Self {
+        ChangePointDetector {
+            config,
+            ewma: None,
+            baseline: None,
+            streak: 0,
+        }
+    }
+
+    /// The current baseline level, if established.
+    pub fn baseline(&self) -> Option<f64> {
+        self.baseline
+    }
+
+    /// The current smoothed signal, if any sample has arrived.
+    pub fn level(&self) -> Option<f64> {
+        self.ewma
+    }
+
+    /// Feed one sample; returns a confirmed [`ChangePoint`] when the
+    /// deviation has persisted for the configured hysteresis.
+    pub fn observe(&mut self, sample: f64) -> Option<ChangePoint> {
+        if !(sample.is_finite() && sample >= 0.0) {
+            return None;
+        }
+        let alpha = self.config.alpha.clamp(1e-3, 1.0);
+        let ewma = match self.ewma {
+            None => sample,
+            Some(prev) => alpha * sample + (1.0 - alpha) * prev,
+        };
+        self.ewma = Some(ewma);
+        let baseline = match self.baseline {
+            None => {
+                // First sample establishes the baseline.
+                self.baseline = Some(ewma);
+                return None;
+            }
+            Some(b) => b,
+        };
+        let drift = (ewma - baseline).abs() / baseline.max(1e-12);
+        if drift > self.config.drift_threshold {
+            self.streak += 1;
+            if self.streak >= self.config.hysteresis.max(1) {
+                self.streak = 0;
+                // Re-lock onto the new regime at the confirming sample:
+                // leaving the EWMA mid-convergence would keep drifting away
+                // from the just-set baseline and re-confirm the same change.
+                self.ewma = Some(sample);
+                self.baseline = Some(sample);
+                return Some(ChangePoint {
+                    old_level: baseline,
+                    new_level: sample,
+                });
+            }
+        } else {
+            // In-band sample: reset the streak and let the baseline track
+            // slow benign drift.
+            self.streak = 0;
+            self.baseline = Some((1.0 - alpha * 0.25) * baseline + alpha * 0.25 * ewma);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector(threshold: f64, hysteresis: u32) -> ChangePointDetector {
+        ChangePointDetector::new(DetectorConfig {
+            drift_threshold: threshold,
+            hysteresis,
+            alpha: 0.6,
+        })
+    }
+
+    #[test]
+    fn jitter_inside_the_band_never_confirms() {
+        let mut d = detector(0.3, 2);
+        // ±10 % noise around 100 for a long stretch.
+        for i in 0..200 {
+            let sample = 100.0 + if i % 2 == 0 { 10.0 } else { -10.0 };
+            assert_eq!(d.observe(sample), None, "sample {i} falsely confirmed");
+        }
+        let b = d.baseline().unwrap();
+        assert!((b - 100.0).abs() < 15.0);
+    }
+
+    #[test]
+    fn step_change_confirms_after_hysteresis_and_only_once() {
+        let mut d = detector(0.3, 2);
+        for _ in 0..5 {
+            assert_eq!(d.observe(100.0), None);
+        }
+        // Collapse to 10: first deviating sample arms, second confirms.
+        assert_eq!(d.observe(10.0), None);
+        let cp = d.observe(10.0).expect("second deviating sample confirms");
+        assert!(cp.old_level > 60.0);
+        assert!(cp.new_level < 40.0);
+        assert!(cp.scale() < 0.5);
+        // Steady at the new level: no further confirmations.
+        for _ in 0..20 {
+            assert_eq!(d.observe(10.0), None);
+        }
+        // Recovery back to 100 confirms again.
+        assert_eq!(d.observe(100.0), None);
+        assert!(d.observe(100.0).is_some());
+    }
+
+    #[test]
+    fn single_outlier_is_absorbed_by_hysteresis() {
+        let mut d = detector(0.3, 2);
+        for _ in 0..5 {
+            d.observe(100.0);
+        }
+        assert_eq!(d.observe(5.0), None, "outlier arms but must not confirm");
+        // Back in band before the streak completes: nothing fires. The
+        // EWMA needs a couple of in-band samples to pull back inside the
+        // threshold after the outlier dented it.
+        for i in 0..20 {
+            assert_eq!(d.observe(100.0), None, "post-outlier sample {i}");
+        }
+    }
+
+    #[test]
+    fn garbage_samples_are_ignored() {
+        let mut d = detector(0.3, 1);
+        assert_eq!(d.observe(f64::NAN), None);
+        assert_eq!(d.observe(-5.0), None);
+        assert_eq!(d.level(), None);
+        d.observe(50.0);
+        assert_eq!(d.level(), Some(50.0));
+    }
+}

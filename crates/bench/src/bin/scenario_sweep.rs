@@ -44,6 +44,11 @@ struct BenchJson {
     analytic: ricsa_pipemap::sweep::SweepSummary,
     simulated: ricsa_pipemap::sweep::SweepSummary,
     dp_timings: Vec<DpTiming>,
+    /// Mean cold solve time across the sweep's scenarios, microseconds.
+    dp_cold_us_mean: f64,
+    /// Mean warm re-solve time (cold optimum as incumbent) — the re-map
+    /// cost adaptive control pays per decision (DESIGN.md §8).
+    dp_warm_us_mean: f64,
 }
 
 fn dp_timings(quick: bool) -> Vec<DpTiming> {
@@ -139,12 +144,32 @@ fn main() {
         );
     }
 
+    let solved: Vec<&ricsa_pipemap::sweep::SweepRecord> = report
+        .outcomes
+        .iter()
+        .map(|o| &o.record)
+        .filter(|r| r.optimal_delay.is_some())
+        .collect();
+    let mean = |f: fn(&ricsa_pipemap::sweep::SweepRecord) -> f64| {
+        if solved.is_empty() {
+            0.0
+        } else {
+            solved.iter().map(|r| f(r)).sum::<f64>() / solved.len() as f64
+        }
+    };
+    let (dp_cold_us_mean, dp_warm_us_mean) = (mean(|r| r.dp_cold_us), mean(|r| r.dp_warm_us));
+    println!(
+        "DP re-solve cost over the sweep: cold {dp_cold_us_mean:.1} µs vs warm-started {dp_warm_us_mean:.1} µs per scenario"
+    );
+
     let bench = BenchJson {
         quick,
         scenarios: config.scenarios,
         analytic: report.analytic.clone(),
         simulated: report.simulated.clone(),
         dp_timings: timings,
+        dp_cold_us_mean,
+        dp_warm_us_mean,
     };
     match serde_json::to_string(&bench) {
         Ok(json) => {

@@ -73,6 +73,9 @@ struct PhaseStats {
     p95_ms: f64,
     p99_ms: f64,
     max_ms: f64,
+    /// Server-side backpressure snapshot (`/api/stats`) taken at the end
+    /// of the phase, while the full poller load is still connected.
+    server: Option<ricsa_webfront::http::PoolMetricsSnapshot>,
 }
 
 /// One row of the encode-cache pricing table.
@@ -291,6 +294,10 @@ fn run_phase(config: &PhaseConfig) -> PhaseStats {
         .collect();
 
     std::thread::sleep(Duration::from_secs_f64(config.seconds));
+    // Sample the server's own backpressure metrics while the load is
+    // still attached — queue depth and rotation latency at full load are
+    // the overload early-warning signals (ROADMAP item).
+    let server_stats = fetch_server_stats(addr);
     stop.store(true, Ordering::Relaxed);
     let frames_published = publisher.join().unwrap();
 
@@ -331,7 +338,27 @@ fn run_phase(config: &PhaseConfig) -> PhaseStats {
         p95_ms: percentile(&latencies, 0.95),
         p99_ms: percentile(&latencies, 0.99),
         max_ms: latencies.last().map_or(f64::NAN, |&l| l as f64 / 1e3),
+        server: server_stats,
     }
+}
+
+/// One `/api/stats` fetch over a fresh connection, parsed into the typed
+/// snapshot (extra hub fields in the body are ignored by deserialization).
+fn fetch_server_stats(
+    addr: std::net::SocketAddr,
+) -> Option<ricsa_webfront::http::PoolMetricsSnapshot> {
+    let stream = TcpStream::connect(addr).ok()?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let mut reader = BufReader::new(stream.try_clone().ok()?);
+    let mut writer = stream;
+    writer
+        .write_all(b"GET /api/stats HTTP/1.1\r\nHost: l\r\nConnection: close\r\n\r\n")
+        .ok()?;
+    let (status, _, body) = read_blocking_response(&mut reader).ok()?;
+    if status != 200 {
+        return None;
+    }
+    serde_json::from_slice(&body).ok()
 }
 
 /// Price the encode-once cache against per-client re-encoding for a range
@@ -374,6 +401,19 @@ fn print_phase(stats: &PhaseStats) {
         stats.p95_ms,
         stats.p99_ms,
     );
+    if let Some(s) = &stats.server {
+        println!(
+            "       server@load: {} conns, run-queue {}, {} parked long-polls, \
+             rotation mean {:.0} µs (max {} µs), visit mean {:.0} µs (max {} µs)",
+            s.active_connections,
+            s.queue_depth,
+            s.pending_responses,
+            s.mean_rotation_us,
+            s.max_rotation_us,
+            s.mean_visit_us,
+            s.max_visit_us,
+        );
+    }
 }
 
 fn main() {

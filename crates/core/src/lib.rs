@@ -18,12 +18,16 @@
 //! * [`experiment`] — the Fig. 9 / Fig. 10 experiment drivers,
 //! * [`sweep`] — the scenario-sweep driver evaluating the optimizer across
 //!   generated WAN families (see DESIGN.md §6),
+//! * [`adapt`] — the adaptive re-mapping driver: frame-paced loops on
+//!   time-varying WANs with monitor-decided, frame-boundary migrations
+//!   (see DESIGN.md §8),
 //! * [`api`] — the `Ricsa*` simulation-side API mirroring the six calls the
 //!   paper inserts into VH1 (Fig. 7), used by the web front end and the
 //!   examples to steer a live in-process simulation.
 
 #![deny(missing_docs)]
 
+pub mod adapt;
 pub mod api;
 pub mod catalog;
 pub mod experiment;
@@ -33,6 +37,7 @@ pub mod session;
 pub mod stage;
 pub mod sweep;
 
+pub use adapt::{run_adaptive_loop, AdaptPolicy, AdaptiveLoopSpec, AdaptiveRun};
 pub use api::{SimulationCommand, SimulationServer, SimulationStatus};
 pub use catalog::{standard_pipeline, SessionSpec, SimulationCatalog};
 pub use experiment::{

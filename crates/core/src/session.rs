@@ -218,6 +218,8 @@ impl SteeringSession {
                 } else {
                     None
                 },
+                first_iteration: 0,
+                telemetry: None,
             };
             sim.install(node, Box::new(StageApp::new(config)));
         }

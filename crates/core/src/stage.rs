@@ -25,7 +25,18 @@ use ricsa_transport::flow::{shared_stats, AckInfo, FlowConfig, KIND_ACK, KIND_DA
 use ricsa_transport::receiver::FlowReceiver;
 use ricsa_transport::rm::{RmController, RmParams};
 use ricsa_transport::sender::WindowSender;
-use std::collections::HashSet;
+use ricsa_transport::telemetry::FlowTelemetry;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+/// Shared handle collecting per-link passive telemetry from stage
+/// applications: the key is the directed link `(from, to)` in topology
+/// node indices, the value the latest [`FlowTelemetry`] snapshot of the
+/// most recent transfer that crossed it.  The adaptive re-mapping driver
+/// ([`crate::adapt`]) owns the handle and feeds the snapshots to the
+/// monitor after every frame.
+pub type LinkTelemetrySink = Rc<RefCell<HashMap<(usize, usize), FlowTelemetry>>>;
 
 /// Client-side driving behaviour: the client stage issues the initial
 /// steering request and paces subsequent iterations so that "the simulation
@@ -71,6 +82,17 @@ pub struct StageConfig {
     pub stage_label: String,
     /// Client driving behaviour (only set on the client stage).
     pub drive: Option<ClientDrive>,
+    /// The first iteration this stage participates in (0 for a stage
+    /// installed at session start).  After a migration the replacement
+    /// stages start here: data for *earlier* iterations is a stale
+    /// retransmission from the pre-migration flows and is re-acknowledged,
+    /// never received — without this floor a stale datagram would open a
+    /// receiver for a dead flow and deadlock the new loop.
+    pub first_iteration: u64,
+    /// Optional sink for passive per-link telemetry (see
+    /// [`LinkTelemetrySink`]); the stage records its outgoing flow's
+    /// telemetry under `(this node, next node)`.
+    pub telemetry: Option<LinkTelemetrySink>,
 }
 
 impl StageConfig {
@@ -145,13 +167,23 @@ pub struct StageApp {
 impl StageApp {
     /// Create a stage application.
     pub fn new(config: StageConfig) -> Self {
+        let first = config.first_iteration;
         StageApp {
             config,
             phase: Phase::Idle,
             dedup: DedupFilter::new(),
             completed_iterations: 0,
-            next_incoming_iteration: 0,
+            next_incoming_iteration: first,
             iteration_started: SimTime::ZERO,
+        }
+    }
+
+    /// Publish the outgoing flow's passive telemetry into the shared sink
+    /// (keyed by the directed link this stage forwards over), if a sink is
+    /// configured.
+    fn record_sender_telemetry(&self, node: NodeId, telemetry: FlowTelemetry) {
+        if let (Some(sink), Some(next)) = (&self.config.telemetry, self.config.next) {
+            sink.borrow_mut().insert((node.0, next.0), telemetry);
         }
     }
 
@@ -412,12 +444,15 @@ impl Application for StageApp {
                 }
             }
             KIND_ACK => {
-                let finished = if let Phase::Sending { sender, .. } = &mut self.phase {
+                let (finished, telemetry) = if let Phase::Sending { sender, .. } = &mut self.phase {
                     sender.on_datagram(ctx, dg);
-                    sender.is_finished()
+                    (sender.is_finished(), Some(sender.telemetry().clone()))
                 } else {
-                    false
+                    (false, None)
                 };
+                if let Some(t) = telemetry {
+                    self.record_sender_telemetry(ctx.node_id(), t);
+                }
                 if finished {
                     self.completed_iterations += 1;
                     self.phase = Phase::Idle;
@@ -510,6 +545,8 @@ mod tests {
             target_goodput: 1e6,
             stage_label: format!("stage{hop}"),
             drive: None,
+            first_iteration: 0,
+            telemetry: None,
         }
     }
 

@@ -1,0 +1,320 @@
+//! Time-varying network scenarios: scheduled link mutations.
+//!
+//! The paper measures the WAN once and maps the pipeline once; real
+//! wide-area paths drift.  This module turns every static topology into a
+//! family of *dynamic* ones: a [`DynamicScenario`] is a seeded,
+//! deterministic schedule of [`LinkEvent`]s — bandwidth ramps,
+//! cross-traffic bursts, and deep degradation/recovery episodes — that the
+//! simulator applies to link parameters at their scheduled virtual
+//! timestamps (see [`crate::sim::Simulator::apply_scenario`]).
+//!
+//! Determinism contract: the same `(parameters, link count, seed)` always
+//! produce a byte-identical event schedule (the tests compare serialized
+//! JSON, not merely `PartialEq`), so adaptive-control experiments are
+//! exactly reproducible.
+//!
+//! Changes are expressed *relative to the link's original specification*
+//! ([`LinkChange::ScaleBandwidth`] multiplies the original bandwidth, and
+//! [`LinkChange::Restore`] reverts to it), so schedules compose without
+//! accumulating drift: applying `ScaleBandwidth { factor: 0.1 }` twice
+//! still leaves the link at 10 % of its original capacity.  The flip side
+//! of never stacking: a `Restore` reverts the *whole* original spec, so a
+//! recovery event on a link cancels any earlier ramp on that link too —
+//! each link's state is always "original spec, modified by its most
+//! recent event".
+
+use crate::crosstraffic::CrossTraffic;
+use crate::link::LinkId;
+use crate::rng::SimRng;
+use crate::time::SimTime;
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// A mutation applied to one directed link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LinkChange {
+    /// Set the link's raw bandwidth to `factor` × its *original* value
+    /// (values < 1 degrade, values > 1 upgrade; clamped to stay positive).
+    ScaleBandwidth {
+        /// Multiplier applied to the original bandwidth.
+        factor: f64,
+    },
+    /// Replace the link's cross-traffic process (e.g. a burst of competing
+    /// traffic arriving, or ceasing).
+    SetCrossTraffic {
+        /// The new cross-traffic model.
+        model: CrossTraffic,
+    },
+    /// Restore the link's original specification (bandwidth and cross
+    /// traffic) — the recovery half of a degradation/recovery episode.
+    Restore,
+}
+
+/// One scheduled link mutation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkEvent {
+    /// Virtual time at which the change takes effect.
+    pub at: SimTime,
+    /// The directed link affected.
+    pub link: LinkId,
+    /// What happens to it.
+    pub change: LinkChange,
+}
+
+/// A deterministic schedule of link mutations over a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicScenario {
+    /// Human-readable description (kind mix, horizon, seed).
+    pub label: String,
+    /// The seed the schedule was generated from.
+    pub seed: u64,
+    /// Events in non-decreasing time order.
+    pub events: Vec<LinkEvent>,
+}
+
+impl DynamicScenario {
+    /// An empty (static) scenario.
+    pub fn empty() -> Self {
+        DynamicScenario {
+            label: "static".into(),
+            seed: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// The time of the first scheduled event, if any.
+    pub fn first_event_at(&self) -> Option<SimTime> {
+        self.events.first().map(|e| e.at)
+    }
+}
+
+/// Parameters of the seeded schedule generator ([`generate_schedule`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleParams {
+    /// Virtual-time horizon covered by the schedule, seconds.
+    pub horizon: f64,
+    /// Mean gap between consecutive events, seconds (exponential).
+    pub mean_gap: f64,
+    /// Relative weight of *ramp* events: a bandwidth rescale that lasts
+    /// until the link's next event.  Note that [`LinkChange::Restore`]
+    /// (the recovery half of a later burst/degradation episode on the
+    /// same link) reverts to the *original* specification, cancelling an
+    /// earlier ramp — all changes are expressed relative to the original
+    /// spec, never stacked.
+    pub ramp_weight: f64,
+    /// Relative weight of *burst* events: a cross-traffic burst followed by
+    /// a recovery after an exponential outage time.
+    pub burst_weight: f64,
+    /// Relative weight of *degradation* events: a deep bandwidth drop
+    /// followed by a recovery after an exponential outage time.
+    pub degrade_weight: f64,
+    /// Bandwidth scale range sampled for ramps (e.g. `(0.4, 0.9)`).
+    pub ramp_range: (f64, f64),
+    /// Bandwidth scale range sampled for degradations (e.g. `(0.05, 0.3)`).
+    pub degrade_range: (f64, f64),
+    /// Cross-traffic load range sampled for bursts, in `[0, 0.95)`.
+    pub burst_load: (f64, f64),
+    /// Mean outage duration before a burst/degradation recovers, seconds.
+    pub mean_outage: f64,
+}
+
+impl Default for ScheduleParams {
+    fn default() -> Self {
+        ScheduleParams {
+            horizon: 120.0,
+            mean_gap: 15.0,
+            ramp_weight: 1.0,
+            burst_weight: 1.0,
+            degrade_weight: 1.0,
+            ramp_range: (0.4, 0.9),
+            degrade_range: (0.05, 0.3),
+            burst_load: (0.5, 0.9),
+            mean_outage: 20.0,
+        }
+    }
+}
+
+/// Generate a deterministic event schedule for a topology with
+/// `link_count` directed links.  The same `(params, link_count, seed)`
+/// always produce an identical schedule; recovery events are emitted for
+/// every burst/degradation (possibly beyond the horizon, so an episode
+/// started inside the horizon always ends).
+pub fn generate_schedule(link_count: usize, params: &ScheduleParams, seed: u64) -> DynamicScenario {
+    let mut rng = SimRng::new(seed ^ 0xD1_9A_0C_5E);
+    let mut events: Vec<LinkEvent> = Vec::new();
+    if link_count > 0 {
+        let total_weight =
+            (params.ramp_weight + params.burst_weight + params.degrade_weight).max(1e-12);
+        let mut t = 0.0;
+        loop {
+            t += rng.exponential(params.mean_gap.max(1e-6)).max(1e-3);
+            if t >= params.horizon {
+                break;
+            }
+            let link = LinkId(rng.index(link_count));
+            let kind = rng.uniform() * total_weight;
+            if kind < params.ramp_weight {
+                let factor = rng.uniform_range(params.ramp_range.0, params.ramp_range.1);
+                events.push(LinkEvent {
+                    at: SimTime::from_secs(t),
+                    link,
+                    change: LinkChange::ScaleBandwidth { factor },
+                });
+            } else {
+                let outage = rng.exponential(params.mean_outage.max(1e-6)).max(0.5);
+                let change = if kind < params.ramp_weight + params.burst_weight {
+                    LinkChange::SetCrossTraffic {
+                        model: CrossTraffic::Constant {
+                            load: rng.uniform_range(params.burst_load.0, params.burst_load.1),
+                        },
+                    }
+                } else {
+                    LinkChange::ScaleBandwidth {
+                        factor: rng.uniform_range(params.degrade_range.0, params.degrade_range.1),
+                    }
+                };
+                events.push(LinkEvent {
+                    at: SimTime::from_secs(t),
+                    link,
+                    change,
+                });
+                events.push(LinkEvent {
+                    at: SimTime::from_secs(t + outage),
+                    link,
+                    change: LinkChange::Restore,
+                });
+            }
+        }
+    }
+    events.sort_by(|a, b| {
+        a.at.as_secs()
+            .partial_cmp(&b.at.as_secs())
+            .expect("event times are finite")
+            .then(a.link.0.cmp(&b.link.0))
+    });
+    DynamicScenario {
+        label: format!(
+            "dynamic[links={link_count},horizon={:.0}s,seed={seed}]",
+            params.horizon
+        ),
+        seed,
+        events,
+    }
+}
+
+/// Apply one event to a *topology* (rather than a running simulator):
+/// `base` supplies the original link specifications that relative changes
+/// refer to.  This is how an oracle controller maintains the true current
+/// network view alongside the simulation.
+pub fn apply_event_to_topology(topo: &mut Topology, base: &Topology, event: &LinkEvent) {
+    let Some(original) = base.edge(event.link).map(|e| e.spec.clone()) else {
+        return;
+    };
+    let Some(spec) = topo.edge_spec_mut(event.link) else {
+        return;
+    };
+    match &event.change {
+        LinkChange::ScaleBandwidth { factor } => {
+            spec.bandwidth_bps = (original.bandwidth_bps * factor.max(0.0)).max(1.0);
+        }
+        LinkChange::SetCrossTraffic { model } => {
+            spec.cross_traffic = model.clone();
+        }
+        LinkChange::Restore => {
+            *spec = original;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_yields_byte_identical_schedules() {
+        let params = ScheduleParams::default();
+        let a = generate_schedule(10, &params, 42);
+        let b = generate_schedule(10, &params, 42);
+        let ja = serde_json::to_string(&a).unwrap();
+        let jb = serde_json::to_string(&b).unwrap();
+        assert_eq!(ja, jb, "same seed must reproduce the schedule bytes");
+        let c = generate_schedule(10, &params, 43);
+        assert_ne!(
+            ja,
+            serde_json::to_string(&c).unwrap(),
+            "different seeds must differ"
+        );
+        assert!(!a.events.is_empty(), "default params produce events");
+    }
+
+    #[test]
+    fn schedules_are_time_ordered_and_episodes_always_recover() {
+        let scenario = generate_schedule(6, &ScheduleParams::default(), 7);
+        for pair in scenario.events.windows(2) {
+            assert!(pair[0].at.as_secs() <= pair[1].at.as_secs());
+        }
+        // Every burst/degradation episode has a matching Restore later on
+        // the same link.
+        for (i, e) in scenario.events.iter().enumerate() {
+            let episodic = matches!(e.change, LinkChange::SetCrossTraffic { .. })
+                || (matches!(e.change, LinkChange::ScaleBandwidth { factor } if factor < 0.4)
+                    && scenario.events[..i]
+                        .iter()
+                        .all(|p| p.link != e.link || !matches!(p.change, LinkChange::Restore)));
+            if episodic {
+                assert!(
+                    scenario.events[i + 1..]
+                        .iter()
+                        .any(|r| r.link == e.link && matches!(r.change, LinkChange::Restore)),
+                    "episode on {} never recovers",
+                    e.link
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_link_set_produces_no_events() {
+        let scenario = generate_schedule(0, &ScheduleParams::default(), 1);
+        assert!(scenario.events.is_empty());
+        assert_eq!(DynamicScenario::empty().first_event_at(), None);
+    }
+
+    #[test]
+    fn topology_view_tracks_events_relative_to_base() {
+        use crate::link::LinkSpec;
+        use crate::node::NodeSpec;
+        let mut base = Topology::new();
+        let a = base.add_node(NodeSpec::workstation("a", 1.0));
+        let b = base.add_node(NodeSpec::workstation("b", 1.0));
+        let (ab, _) = base.connect(a, b, LinkSpec::new(1e6, 0.01));
+        let mut live = base.clone();
+        let degrade = LinkEvent {
+            at: SimTime::from_secs(1.0),
+            link: ab,
+            change: LinkChange::ScaleBandwidth { factor: 0.1 },
+        };
+        apply_event_to_topology(&mut live, &base, &degrade);
+        assert!((live.edge(ab).unwrap().spec.bandwidth_bps - 1e5).abs() < 1e-6);
+        // Relative semantics: applying the same scale twice is idempotent.
+        apply_event_to_topology(&mut live, &base, &degrade);
+        assert!((live.edge(ab).unwrap().spec.bandwidth_bps - 1e5).abs() < 1e-6);
+        let restore = LinkEvent {
+            at: SimTime::from_secs(2.0),
+            link: ab,
+            change: LinkChange::Restore,
+        };
+        apply_event_to_topology(&mut live, &base, &restore);
+        assert_eq!(live.edge(ab).unwrap().spec, base.edge(ab).unwrap().spec);
+        // Unknown links are ignored.
+        apply_event_to_topology(
+            &mut live,
+            &base,
+            &LinkEvent {
+                at: SimTime::ZERO,
+                link: LinkId(99),
+                change: LinkChange::Restore,
+            },
+        );
+    }
+}

@@ -4,6 +4,7 @@
 //! tie breaker, which makes event ordering (and therefore every simulation
 //! run) fully deterministic.
 
+use crate::dynamics::LinkChange;
 use crate::link::LinkId;
 use crate::node::NodeId;
 use crate::packet::Datagram;
@@ -35,6 +36,14 @@ pub enum EventKind {
     Start {
         /// The node to start.
         node: NodeId,
+    },
+    /// A scheduled link mutation takes effect (time-varying scenarios, see
+    /// [`crate::dynamics`]).
+    LinkChange {
+        /// The directed link being mutated.
+        link: LinkId,
+        /// The mutation.
+        change: LinkChange,
     },
 }
 

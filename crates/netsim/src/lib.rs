@@ -50,6 +50,7 @@
 
 pub mod app;
 pub mod crosstraffic;
+pub mod dynamics;
 pub mod event;
 pub mod generators;
 pub mod link;
@@ -68,6 +69,7 @@ pub mod trace;
 pub mod prelude {
     pub use crate::app::{Application, Context};
     pub use crate::crosstraffic::CrossTraffic;
+    pub use crate::dynamics::{DynamicScenario, LinkChange, LinkEvent, ScheduleParams};
     pub use crate::generators::{GeneratedWan, WanKind};
     pub use crate::link::{LinkId, LinkSpec};
     pub use crate::loss::LossModel;

@@ -15,6 +15,7 @@
 //! congestion-reactive transports.
 
 use crate::crosstraffic::{CrossTraffic, CrossTrafficState};
+use crate::dynamics::LinkChange;
 use crate::loss::{LossModel, LossState};
 use crate::node::NodeId;
 use crate::rng::SimRng;
@@ -144,8 +145,11 @@ pub struct Link {
     pub from: NodeId,
     /// Receiving node.
     pub to: NodeId,
-    /// Static parameters.
+    /// Current parameters (mutable at runtime by scheduled link changes).
     pub spec: LinkSpec,
+    /// The original parameters, which relative changes refer to (see
+    /// [`crate::dynamics::LinkChange`]).
+    base: LinkSpec,
     loss: LossState,
     cross: CrossTrafficState,
     /// Time at which the transmitter becomes free.
@@ -201,6 +205,7 @@ impl Link {
             id,
             from,
             to,
+            base: spec.clone(),
             spec,
             loss,
             cross,
@@ -258,6 +263,26 @@ impl Link {
     /// The time at which the transmitter becomes idle.
     pub fn busy_until(&self) -> SimTime {
         self.busy_until
+    }
+
+    /// Apply a runtime mutation.  Relative changes (bandwidth scaling,
+    /// restore) refer to the link's *original* specification, so repeated
+    /// application is idempotent.  A transmission already in progress keeps
+    /// its old completion time; subsequent offers see the new parameters.
+    pub fn apply_change(&mut self, change: &LinkChange, rng: &mut SimRng) {
+        match change {
+            LinkChange::ScaleBandwidth { factor } => {
+                self.spec.bandwidth_bps = (self.base.bandwidth_bps * factor.max(0.0)).max(1.0);
+            }
+            LinkChange::SetCrossTraffic { model } => {
+                self.spec.cross_traffic = model.clone();
+                self.cross = model.instantiate(rng);
+            }
+            LinkChange::Restore => {
+                self.spec = self.base.clone();
+                self.cross = self.spec.cross_traffic.instantiate(rng);
+            }
+        }
     }
 }
 

@@ -7,6 +7,7 @@
 //! (sends, timers, traces) are applied when the callback returns.
 
 use crate::app::{Application, Context};
+use crate::dynamics::{DynamicScenario, LinkChange};
 use crate::event::{EventKind, EventQueue};
 use crate::link::{Link, LinkId, LinkOutcome};
 use crate::node::NodeId;
@@ -51,6 +52,8 @@ pub struct SimStats {
     pub datagrams_dropped: u64,
     /// Datagrams addressed to unreachable destinations.
     pub datagrams_unroutable: u64,
+    /// Scheduled link mutations applied (time-varying scenarios).
+    pub link_changes: u64,
 }
 
 impl Simulator {
@@ -126,6 +129,46 @@ impl Simulator {
         self.links.get(id.0).map(|l| l.stats())
     }
 
+    /// The *current* specification of a link (reflecting any applied
+    /// runtime changes), unlike `topology()` which keeps the original.
+    pub fn link_spec(&self, id: LinkId) -> Option<&crate::link::LinkSpec> {
+        self.links.get(id.0).map(|l| &l.spec)
+    }
+
+    /// Schedule a link mutation to take effect at virtual time `at`.
+    pub fn schedule_link_change(&mut self, at: SimTime, link: LinkId, change: LinkChange) {
+        self.queue.push(at, EventKind::LinkChange { link, change });
+    }
+
+    /// Schedule every event of a time-varying scenario (see
+    /// [`crate::dynamics`]).
+    pub fn apply_scenario(&mut self, scenario: &DynamicScenario) {
+        for event in &scenario.events {
+            self.schedule_link_change(event.at, event.link, event.change.clone());
+        }
+    }
+
+    /// Apply a link mutation immediately, recording a trace note
+    /// (`link-change:lN` with the new bandwidth as value) so experiment
+    /// drivers can line decisions up against the schedule.
+    fn apply_link_change(&mut self, link: LinkId, change: &LinkChange) {
+        let Some(l) = self.links.get_mut(link.0) else {
+            return;
+        };
+        l.apply_change(change, &mut self.rng);
+        self.stats.link_changes += 1;
+        let from = l.from;
+        let bandwidth = l.spec.bandwidth_bps;
+        self.trace.push(crate::trace::TraceEvent {
+            at: self.now,
+            node: from,
+            kind: crate::trace::TraceKind::Note {
+                label: format!("link-change:{link}"),
+                value: bandwidth,
+            },
+        });
+    }
+
     /// Take a mutable reference to an installed application, downcast by the
     /// caller.  Primarily used by experiment drivers to extract results after
     /// the run; returns `None` if no application is installed on the node.
@@ -169,6 +212,7 @@ impl Simulator {
                 EventKind::DatagramArrival { node, datagram, .. } => {
                     self.handle_arrival(node, datagram)
                 }
+                EventKind::LinkChange { link, change } => self.apply_link_change(link, &change),
             }
         }
         // If events remain beyond the deadline, the clock advances to the
@@ -544,6 +588,46 @@ mod tests {
         sim.inject(a, b, Payload::opaque(100));
         sim.run_until(SimTime::from_secs(1.0));
         assert_eq!(seen.borrow().len(), 1);
+    }
+
+    #[test]
+    fn scheduled_bandwidth_drop_changes_transfer_times_mid_simulation() {
+        use crate::dynamics::LinkChange;
+        // 1 MB/s link: a 100 kB datagram serializes in 0.1 s.  After the
+        // scheduled drop to 10 % the same datagram takes 1.0 s.
+        let (topo, a, b) = two_node_topo(8.0, 0.0);
+        let mut sim = Simulator::new(topo, 1);
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        sim.install(b, Box::new(Sink { seen: seen.clone() }));
+        sim.schedule_link_change(
+            SimTime::from_secs(1.0),
+            LinkId(0),
+            LinkChange::ScaleBandwidth { factor: 0.1 },
+        );
+        sim.run_until(SimTime::from_millis(1.0));
+        let t0 = sim.now().as_secs();
+        sim.inject(a, b, Payload::sized(1, 1, 0, 100_000));
+        sim.run_until(SimTime::from_secs(2.0));
+        // The clock sits at the last processed event; record the actual
+        // injection time of the post-drop datagram.
+        let t1 = sim.now().as_secs();
+        sim.inject(a, b, Payload::sized(1, 1, 1, 100_000));
+        sim.run_until(SimTime::from_secs(10.0));
+        let seen = seen.borrow();
+        assert_eq!(seen.len(), 2);
+        let before = seen[0].1.as_secs() - t0;
+        let after = seen[1].1.as_secs() - t1;
+        // Wire size adds a small header, so allow a per-mille of slack.
+        assert!((before - 0.1).abs() < 1e-3, "pre-drop transfer {before}");
+        assert!((after - 1.0).abs() < 1e-2, "post-drop transfer {after}");
+        assert_eq!(sim.stats().link_changes, 1);
+        // The change left a trace note and restored specs stay queryable.
+        assert!(sim.trace().events.iter().any(
+            |e| matches!(&e.kind, TraceKind::Note { label, .. } if label == "link-change:l0")
+        ));
+        sim.schedule_link_change(SimTime::from_secs(10.5), LinkId(0), LinkChange::Restore);
+        sim.run_until(SimTime::from_secs(11.0));
+        assert!((sim.link_spec(LinkId(0)).unwrap().bandwidth_bps - 1e6).abs() < 1e-6);
     }
 
     #[test]

@@ -30,10 +30,18 @@
 //!   connected instance feasible.  It is off by default — the default
 //!   semantics stay exactly the paper's.
 
-use crate::delay::{evaluate_mapping, DelayBreakdown, Mapping};
+use crate::delay::{evaluate_mapping, validate_mapping, DelayBreakdown, Mapping};
 use crate::network::{dijkstra, EdgeDir, NetGraph};
 use crate::pipeline::Pipeline;
 use serde::{Deserialize, Serialize};
+
+/// Relative inflation applied to a warm-start incumbent's evaluated delay
+/// before it seeds the pruner's upper bound.  The incumbent's cost and the
+/// recursion's objective sum the same terms in different association
+/// orders; without this slack an incumbent that *is* the optimum could
+/// prune the optimal walk by an ulp.  The inflation only weakens the
+/// bound, so the returned objective stays exactly the cold recursion's.
+const WARM_START_SLACK: f64 = 1e-9;
 
 /// The result of the dynamic-programming optimization.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -263,6 +271,44 @@ pub fn optimize_with(
     destination: usize,
     options: &DpOptions,
 ) -> (Option<OptimizedMapping>, DpStats) {
+    solve(pipeline, graph, source, destination, options, None)
+}
+
+/// Warm-started re-solve: the previous solution (`incumbent`) seeds the
+/// pruner's upper bound, so the re-solve discards provably-worse states
+/// from the very first layer instead of waiting for the recursion to reach
+/// the destination.  The incumbent is first re-validated and re-priced on
+/// the *current* graph — a stale mapping that is no longer feasible simply
+/// contributes no bound.  The optimum returned is identical to a cold
+/// [`optimize_with`] (the bound only discards states that cannot beat a
+/// known feasible solution); what changes is the work, which the adaptive
+/// re-mapping controller and the sweep records quantify.
+pub fn optimize_warm(
+    pipeline: &Pipeline,
+    graph: &NetGraph,
+    source: usize,
+    destination: usize,
+    options: &DpOptions,
+    incumbent: &Mapping,
+) -> (Option<OptimizedMapping>, DpStats) {
+    solve(
+        pipeline,
+        graph,
+        source,
+        destination,
+        options,
+        Some(incumbent),
+    )
+}
+
+fn solve(
+    pipeline: &Pipeline,
+    graph: &NetGraph,
+    source: usize,
+    destination: usize,
+    options: &DpOptions,
+    incumbent: Option<&Mapping>,
+) -> (Option<OptimizedMapping>, DpStats) {
     let mut stats = DpStats::default();
     let n_modules = pipeline.message_count();
     let n_nodes = graph.node_count();
@@ -281,6 +327,22 @@ pub fn optimize_with(
     } else {
         None
     };
+    if let (Some(p), Some(m)) = (pruner.as_mut(), incumbent) {
+        // Warm start: a still-feasible incumbent is a known complete
+        // solution, so its (slightly inflated, see WARM_START_SLACK)
+        // evaluated delay upper-bounds the optimum from the outset.  The
+        // incumbent must lie in the *searched* space: a relay mapping
+        // (forwarding hops = empty groups beyond the source) can be
+        // cheaper than every pure walk, and seeding a walk search with it
+        // would prune away all walk solutions.
+        let in_space = options.relay || m.groups.iter().skip(1).all(|g| !g.is_empty());
+        if in_space && validate_mapping(pipeline, graph, m).is_ok() {
+            let cost = evaluate_mapping(pipeline, graph, m).total;
+            if cost.is_finite() {
+                p.upper_bound = cost * (1.0 + WARM_START_SLACK);
+            }
+        }
+    }
     if options.relay {
         relay_dp(
             pipeline,
@@ -909,6 +971,75 @@ mod tests {
         let relayed = relayed.unwrap();
         assert_eq!(relayed.mapping.path, vec![s, gpu, d]);
         assert_eq!(relayed.mapping.groups, vec![vec![], vec![0], vec![]]);
+    }
+
+    /// Warm-started re-solves must return the cold optimum exactly, on the
+    /// same graph (incumbent == optimum) and after a parameter drift
+    /// (incumbent stale), in both semantics — and the seeded bound must
+    /// actually save work somewhere.
+    #[test]
+    fn warm_start_matches_cold_solve_and_saves_work() {
+        for relay in [false, true] {
+            let opts = DpOptions { prune: true, relay };
+            let mut warm_saved_somewhere = false;
+            for seed in 0u64..25 {
+                let mut rng = XorShift::new(seed.wrapping_add(9000));
+                let n_nodes = rng.index(5, 14);
+                let n_modules = rng.index(2, 6);
+                let (pipeline, mut g) = random_instance(&mut rng, n_nodes, n_modules, 0.4);
+                let (cold, _) = optimize_with(&pipeline, &g, 0, n_nodes - 1, &opts);
+                let Some(cold) = cold else { continue };
+                // Same graph: the incumbent is the optimum itself.
+                let (warm, _) = optimize_warm(&pipeline, &g, 0, n_nodes - 1, &opts, &cold.mapping);
+                assert_eq!(
+                    warm.expect("warm must stay feasible").objective,
+                    cold.objective,
+                    "relay={relay} seed={seed}: warm start changed the optimum"
+                );
+                // Drift every bandwidth (the adaptive re-mapping situation)
+                // and compare warm vs cold on the perturbed graph.
+                for i in 0..g.link_count() {
+                    let factor = 0.3 + 0.9 * rng.next();
+                    let link = *g.link(i);
+                    g.set_measured(link.from, link.to, link.bandwidth * factor, link.delay);
+                }
+                let (cold2, cstats) = optimize_with(&pipeline, &g, 0, n_nodes - 1, &opts);
+                let (warm2, wstats) =
+                    optimize_warm(&pipeline, &g, 0, n_nodes - 1, &opts, &cold.mapping);
+                match (cold2, warm2) {
+                    (Some(c), Some(w)) => {
+                        assert_eq!(
+                            w.objective, c.objective,
+                            "relay={relay} seed={seed}: stale incumbent changed the optimum"
+                        );
+                        assert!(wstats.states_expanded <= cstats.states_expanded);
+                        warm_saved_somewhere |= wstats.states_expanded < cstats.states_expanded;
+                    }
+                    (None, None) => {}
+                    (c, w) => panic!(
+                        "relay={relay} seed={seed}: feasibility mismatch cold={:?} warm={:?}",
+                        c.is_some(),
+                        w.is_some()
+                    ),
+                }
+            }
+            assert!(
+                warm_saved_somewhere,
+                "relay={relay}: the warm bound never saved any work"
+            );
+        }
+    }
+
+    /// A relay incumbent must not poison a walk-only warm start: the guard
+    /// skips seeding and the walk result equals the cold walk solve.
+    #[test]
+    fn relay_incumbent_does_not_poison_walk_warm_start() {
+        let (p, g) = setup();
+        let (relayed, _) = optimize_with(&p, &g, 0, 2, &DpOptions::relayed());
+        let relayed = relayed.unwrap();
+        let cold = optimize(&p, &g, 0, 2).unwrap();
+        let (warm, _) = optimize_warm(&p, &g, 0, 2, &DpOptions::default(), &relayed.mapping);
+        assert_eq!(warm.unwrap().objective, cold.objective);
     }
 
     #[test]

@@ -50,7 +50,11 @@ pub struct ScenarioSolution {
 }
 
 /// One serializable row of a sweep result set.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Equality ignores the two wall-clock timing fields (`dp_cold_us`,
+/// `dp_warm_us`): everything else in a sweep is deterministic per seed and
+/// the determinism tests compare whole reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SweepRecord {
     /// Scenario id.
     pub id: u64,
@@ -79,11 +83,37 @@ pub struct SweepRecord {
     pub client_server_speedup: Option<f64>,
     /// DP work counters (with pruning enabled).
     pub dp_stats: DpStats,
+    /// Wall-clock time of the cold DP solve, microseconds.
+    pub dp_cold_us: f64,
+    /// Wall-clock time of a warm re-solve seeded with the cold optimum
+    /// (the best-case incumbent — what an adaptive re-map pays when the
+    /// network barely moved), microseconds.  0 when the scenario is
+    /// infeasible.
+    pub dp_warm_us: f64,
+}
+
+impl PartialEq for SweepRecord {
+    fn eq(&self, other: &Self) -> bool {
+        // Timing fields excluded: wall-clock, not part of scenario identity.
+        self.id == other.id
+            && self.label == other.label
+            && self.seed == other.seed
+            && self.nodes == other.nodes
+            && self.links == other.links
+            && self.optimal_delay == other.optimal_delay
+            && self.optimal_hops == other.optimal_hops
+            && self.baseline_delay == other.baseline_delay
+            && self.speedup == other.speedup
+            && self.client_server_delay == other.client_server_delay
+            && self.client_server_speedup == other.client_server_speedup
+            && self.dp_stats == other.dp_stats
+    }
 }
 
 /// Solve one scenario: DP-optimal mapping (pruned) plus the default-route
 /// baseline.
 pub fn solve_scenario(scenario: &Scenario) -> ScenarioSolution {
+    let cold_started = std::time::Instant::now();
     let (optimal, dp_stats) = optimize_with(
         &scenario.pipeline,
         &scenario.graph,
@@ -95,6 +125,27 @@ pub fn solve_scenario(scenario: &Scenario) -> ScenarioSolution {
         // comparable.  See DESIGN.md §6.
         &DpOptions::relayed(),
     );
+    let dp_cold_us = cold_started.elapsed().as_secs_f64() * 1e6;
+    // Warm re-solve with the optimum as incumbent: quantifies the
+    // best-case warm-start win that adaptive re-mapping banks on
+    // (DESIGN.md §8).
+    let dp_warm_us = match optimal.as_ref() {
+        Some(opt) => {
+            let warm_started = std::time::Instant::now();
+            let (warm, _) = crate::dp::optimize_warm(
+                &scenario.pipeline,
+                &scenario.graph,
+                scenario.source,
+                scenario.destination,
+                &DpOptions::relayed(),
+                &opt.mapping,
+            );
+            let us = warm_started.elapsed().as_secs_f64() * 1e6;
+            debug_assert_eq!(warm.map(|w| w.objective), Some(opt.objective));
+            us
+        }
+        None => 0.0,
+    };
     let baseline = default_route_baseline(
         &scenario.pipeline,
         &scenario.graph,
@@ -132,6 +183,8 @@ pub fn solve_scenario(scenario: &Scenario) -> ScenarioSolution {
             client_server_delay,
             client_server_speedup,
             dp_stats,
+            dp_cold_us,
+            dp_warm_us,
         },
         optimal,
         baseline,
@@ -374,6 +427,8 @@ mod tests {
             client_server_delay: speedup,
             client_server_speedup: speedup,
             dp_stats: DpStats::default(),
+            dp_cold_us: 0.0,
+            dp_warm_us: 0.0,
         };
         let records: Vec<SweepRecord> = vec![
             mk(0, Some(1.0)),

@@ -18,7 +18,12 @@
 //!   effective path bandwidth (Section 4.3, Eq. 3),
 //! * [`harness`] — one-call helpers that wire a flow across a topology and
 //!   report goodput series, convergence and message latencies,
-//! * [`stats`] — time-series summaries (mean, jitter, convergence time).
+//! * [`stats`] — time-series summaries (mean, jitter, convergence time),
+//! * [`telemetry`] — passive per-flow telemetry ([`telemetry::FlowTelemetry`]:
+//!   EWMA goodput, RTT, loss-event rate) feeding the adaptive re-mapping
+//!   monitor without any probe traffic (DESIGN.md §8).
+
+#![deny(missing_docs)]
 
 pub mod aimd;
 pub mod epb;
@@ -29,6 +34,7 @@ pub mod receiver;
 pub mod rm;
 pub mod sender;
 pub mod stats;
+pub mod telemetry;
 
 pub use aimd::{AimdController, AimdParams};
 pub use epb::{EpbEstimate, EpbEstimator};
@@ -39,3 +45,4 @@ pub use receiver::FlowReceiver;
 pub use rm::{RmController, RmParams};
 pub use sender::WindowSender;
 pub use stats::TimeSeries;
+pub use telemetry::{FlowTelemetry, TelemetryCollector};

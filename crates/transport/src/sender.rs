@@ -10,6 +10,7 @@
 use crate::flow::{
     AckInfo, FlowConfig, RateController, SharedFlowStats, KIND_ACK, KIND_DATA, NO_CUMULATIVE,
 };
+use crate::telemetry::{FlowTelemetry, TelemetryCollector};
 use ricsa_netsim::app::{Application, Context};
 use ricsa_netsim::node::NodeId;
 use ricsa_netsim::packet::{Datagram, Payload};
@@ -46,6 +47,9 @@ pub struct WindowSender<C: RateController> {
     /// signal that holds the retransmission timeout back while data is
     /// still landing.
     last_received_count: u64,
+    /// Passive per-flow telemetry (EWMA goodput/RTT, loss events) for the
+    /// adaptive re-mapping monitor; costs no extra traffic.
+    telemetry: TelemetryCollector,
 }
 
 impl<C: RateController> WindowSender<C> {
@@ -60,6 +64,7 @@ impl<C: RateController> WindowSender<C> {
         stats: SharedFlowStats,
     ) -> Self {
         config.validate().expect("invalid flow configuration");
+        let telemetry = TelemetryCollector::new(config.flow_id);
         WindowSender {
             config,
             receiver,
@@ -75,6 +80,7 @@ impl<C: RateController> WindowSender<C> {
             last_burst_progressed: true,
             last_ack_progress: 0.0,
             last_received_count: 0,
+            telemetry,
         }
     }
 
@@ -86,6 +92,12 @@ impl<C: RateController> WindowSender<C> {
     /// Access the rate controller (e.g. to inspect its converged state).
     pub fn controller(&self) -> &C {
         &self.controller
+    }
+
+    /// The passive telemetry accumulated by this flow (see
+    /// [`crate::telemetry`]).
+    pub fn telemetry(&self) -> &FlowTelemetry {
+        self.telemetry.telemetry()
     }
 
     fn total_datagrams(&self) -> Option<u64> {
@@ -117,6 +129,8 @@ impl<C: RateController> WindowSender<C> {
 
     fn send_seq(&mut self, ctx: &mut Context, seq: u64, retransmission: bool) {
         let size = self.datagram_size(seq);
+        self.telemetry
+            .note_sent(seq, ctx.now().as_secs(), retransmission);
         ctx.send(
             self.receiver,
             Payload::sized(KIND_DATA, self.config.flow_id, seq, size),
@@ -264,10 +278,21 @@ impl<C: RateController> WindowSender<C> {
         }
         if fresh_losses > 0 {
             self.controller.on_loss(now);
+            self.telemetry.on_loss(fresh_losses as u64, now);
         }
         // Goodput observation drives the Robbins-Monro / AIMD update.
         if ack.goodput_bps > 0.0 {
             self.controller.on_goodput(ack.goodput_bps, now);
+            self.telemetry.on_goodput(ack.goodput_bps, now);
+        }
+        // Resolve the passive RTT probe against the updated ACK state
+        // (cumulative point + SACK only, mirroring `is_acked`).
+        {
+            let cum = self.cumulative_acked;
+            let sacked = &self.sacked;
+            self.telemetry.note_acked(now, |s| {
+                cum.map(|c| s <= c).unwrap_or(false) || sacked.contains(&s)
+            });
         }
         // Progress = the receiver confirmed something new: the cumulative
         // point advanced (outstanding shrank) or its distinct-datagram count
@@ -496,6 +521,36 @@ mod tests {
         tx.on_timer(&mut ctx2, 0);
         assert!(ctx2.outgoing().is_empty());
         assert!(ctx2.scheduled_timers().is_empty());
+    }
+
+    #[test]
+    fn telemetry_accumulates_from_ack_signals_alone() {
+        let (mut tx, _stats) = mk_sender(None, 4);
+        let mut ctx = ctx_at(0.0);
+        tx.on_start(&mut ctx); // sends 0..4; probe = seq 0 at t=0
+        assert!(!tx.telemetry().has_signal());
+        let ack = AckInfo {
+            cumulative: 1,
+            highest_seen: 3,
+            missing: vec![2],
+            sack: vec![],
+            goodput_bps: 5e5,
+            received_count: 3,
+        };
+        let mut ctx2 = ctx_at(0.04);
+        tx.on_datagram(&mut ctx2, ack_payload(&ack));
+        let t = tx.telemetry();
+        assert!((t.goodput_bps - 5e5).abs() < 1e-6);
+        assert_eq!(t.goodput_samples, 1);
+        assert_eq!(t.loss_events, 1, "one fresh NACK group");
+        assert!((t.rtt_s - 0.04).abs() < 1e-9, "probe 0 resolved by cum=1");
+        assert_eq!(t.rtt_samples, 1);
+        // Retransmitting the new probe (seq 2, queued by the NACK) after it
+        // becomes the probe must not corrupt RTT (Karn's rule) — exercised
+        // through a real retransmission burst.
+        let mut ctx3 = ctx_at(0.05);
+        tx.on_timer(&mut ctx3, 0); // retransmits 2 (fresh probe candidates skipped)
+        assert_eq!(tx.telemetry().rtt_samples, 1);
     }
 
     #[test]

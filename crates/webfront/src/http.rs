@@ -571,17 +571,101 @@ fn try_flush(conn: &mut Conn) -> Option<bool> {
     Some(wrote)
 }
 
+/// Live backpressure metrics of the worker pool, exported so overload is
+/// observable *before* the 503 connection limit trips (ROADMAP item; the
+/// front end serves them on `/api/stats`).  All counters are relaxed
+/// atomics — they are monitoring signals, not synchronization.
+#[derive(Debug, Default)]
+pub struct PoolMetrics {
+    /// Connections currently open (gauge).
+    active: AtomicUsize,
+    /// Connections sitting in the run queue right now (gauge).
+    queue_depth: AtomicUsize,
+    /// Deferred responses (long-polls) currently parked (gauge).
+    pending_responses: AtomicUsize,
+    /// Requests served since start.
+    served_total: AtomicU64,
+    /// Scheduling visits performed.
+    visits: AtomicU64,
+    /// Total microseconds spent inside visits (service time).
+    visit_us_total: AtomicU64,
+    /// Worst single visit, microseconds.
+    visit_us_max: AtomicU64,
+    /// Total microseconds connections waited past their due time before a
+    /// worker reached them (rotation latency).
+    rotation_us_total: AtomicU64,
+    /// Worst rotation latency, microseconds.
+    rotation_us_max: AtomicU64,
+}
+
+/// A point-in-time copy of [`PoolMetrics`], serializable for `/api/stats`
+/// responses and BENCH json embedding.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PoolMetricsSnapshot {
+    /// Connections currently open.
+    pub active_connections: usize,
+    /// Connections waiting in the run queue.
+    pub queue_depth: usize,
+    /// Long-polls currently parked as deferred responses.
+    pub pending_responses: usize,
+    /// Requests served since start.
+    pub requests_served: u64,
+    /// Scheduling visits performed.
+    pub visits: u64,
+    /// Mean per-visit service time, microseconds.
+    pub mean_visit_us: f64,
+    /// Worst per-visit service time, microseconds.
+    pub max_visit_us: u64,
+    /// Mean worker rotation latency (lateness past a connection's due
+    /// time), microseconds.
+    pub mean_rotation_us: f64,
+    /// Worst rotation latency, microseconds.
+    pub max_rotation_us: u64,
+}
+
+impl PoolMetrics {
+    /// Snapshot every counter.
+    pub fn snapshot(&self) -> PoolMetricsSnapshot {
+        let visits = self.visits.load(Ordering::Relaxed);
+        let visit_us = self.visit_us_total.load(Ordering::Relaxed);
+        let rotation_us = self.rotation_us_total.load(Ordering::Relaxed);
+        PoolMetricsSnapshot {
+            active_connections: self.active.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            pending_responses: self.pending_responses.load(Ordering::Relaxed),
+            requests_served: self.served_total.load(Ordering::Relaxed),
+            visits,
+            mean_visit_us: if visits == 0 {
+                0.0
+            } else {
+                visit_us as f64 / visits as f64
+            },
+            max_visit_us: self.visit_us_max.load(Ordering::Relaxed),
+            mean_rotation_us: if visits == 0 {
+                0.0
+            } else {
+                rotation_us as f64 / visits as f64
+            },
+            max_rotation_us: self.rotation_us_max.load(Ordering::Relaxed),
+        }
+    }
+}
+
 struct Shared {
     queue: Mutex<VecDeque<Conn>>,
     cvar: Condvar,
     stop: AtomicBool,
-    active: AtomicUsize,
-    served_total: AtomicU64,
+    metrics: Arc<PoolMetrics>,
 }
 
 impl Shared {
     fn push(&self, conn: Conn) {
-        self.queue.lock().push_back(conn);
+        let mut queue = self.queue.lock();
+        queue.push_back(conn);
+        self.metrics
+            .queue_depth
+            .store(queue.len(), Ordering::Relaxed);
+        drop(queue);
         self.cvar.notify_one();
     }
 
@@ -591,6 +675,9 @@ impl Shared {
         let mut queue = self.queue.lock();
         loop {
             if let Some(conn) = queue.pop_front() {
+                self.metrics
+                    .queue_depth
+                    .store(queue.len(), Ordering::Relaxed);
                 return Some(conn);
             }
             if self.stop.load(Ordering::Relaxed) {
@@ -628,6 +715,21 @@ impl HttpServer {
     where
         F: Fn(HttpRequest) -> Outcome + Send + Sync + 'static,
     {
+        HttpServer::start_with_metrics(addr, config, Arc::new(PoolMetrics::default()), handler)
+    }
+
+    /// [`HttpServer::start_with`] publishing into a caller-supplied
+    /// [`PoolMetrics`] — so a route handler built *before* the server can
+    /// serve the server's own metrics (the `/api/stats` pattern).
+    pub fn start_with_metrics<F>(
+        addr: &str,
+        config: HttpServerConfig,
+        metrics: Arc<PoolMetrics>,
+        handler: F,
+    ) -> std::io::Result<HttpServer>
+    where
+        F: Fn(HttpRequest) -> Outcome + Send + Sync + 'static,
+    {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -635,8 +737,7 @@ impl HttpServer {
             queue: Mutex::new(VecDeque::new()),
             cvar: Condvar::new(),
             stop: AtomicBool::new(false),
-            active: AtomicUsize::new(0),
-            served_total: AtomicU64::new(0),
+            metrics,
         });
         let handler: Arc<Handler> = Arc::new(handler);
         let mut threads = Vec::with_capacity(config.workers + 1);
@@ -668,12 +769,17 @@ impl HttpServer {
 
     /// Connections currently open (queued or being serviced).
     pub fn active_connections(&self) -> usize {
-        self.shared.active.load(Ordering::Relaxed)
+        self.shared.metrics.active.load(Ordering::Relaxed)
     }
 
     /// Total requests served since start.
     pub fn requests_served(&self) -> u64 {
-        self.shared.served_total.load(Ordering::Relaxed)
+        self.shared.metrics.served_total.load(Ordering::Relaxed)
+    }
+
+    /// The pool's live backpressure metrics.
+    pub fn metrics(&self) -> Arc<PoolMetrics> {
+        self.shared.metrics.clone()
     }
 
     /// Gracefully stop the server: no new connections are accepted, workers
@@ -702,7 +808,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, max_connections: usiz
     while !shared.stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((mut stream, _)) => {
-                if shared.active.load(Ordering::Relaxed) >= max_connections {
+                if shared.metrics.active.load(Ordering::Relaxed) >= max_connections {
                     // Crisp overload behaviour: tell the client and close.
                     // Drain whatever request bytes already arrived first —
                     // closing with unread input makes the kernel RST the
@@ -728,7 +834,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, max_connections: usiz
                 if stream.set_nonblocking(true).is_err() {
                     continue;
                 }
-                shared.active.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.active.fetch_add(1, Ordering::Relaxed);
                 let now = Instant::now();
                 shared.push(Conn {
                     stream,
@@ -769,13 +875,19 @@ fn worker_loop(shared: Arc<Shared>, handler: Arc<Handler>, config: HttpServerCon
             // Drain mode: queue a pending response if it is ready right
             // now, flush what the socket accepts, then close.  Clients
             // mid-long-poll see EOF and re-poll.
+            if conn.pending.is_some() {
+                shared
+                    .metrics
+                    .pending_responses
+                    .fetch_sub(1, Ordering::Relaxed);
+            }
             if let Some(mut pending) = conn.pending.take() {
                 if let Some(resp) = pending() {
                     conn.queue_response(&resp, false);
                 }
             }
             let _ = try_flush(&mut conn);
-            shared.active.fetch_sub(1, Ordering::Relaxed);
+            shared.metrics.active.fetch_sub(1, Ordering::Relaxed);
             continue;
         }
         let now = Instant::now();
@@ -785,7 +897,8 @@ fn worker_loop(shared: Arc<Shared>, handler: Arc<Handler>, config: HttpServerCon
             skipped += 1;
             // This worker's share of a full rotation was all not-due:
             // everything is waiting, so sleep instead of spinning.
-            let share = (shared.active.load(Ordering::Relaxed) / config.workers.max(1)).max(1);
+            let share =
+                (shared.metrics.active.load(Ordering::Relaxed) / config.workers.max(1)).max(1);
             if skipped > share {
                 skipped = 0;
                 std::thread::sleep(nap);
@@ -793,10 +906,40 @@ fn worker_loop(shared: Arc<Shared>, handler: Arc<Handler>, config: HttpServerCon
             continue;
         }
         skipped = 0;
-        match service(conn, handler.as_ref(), &config, &shared) {
+        // Rotation latency: how far past its due time this connection sat
+        // before a worker reached it — the long-poll wake-up latency the
+        // pool actually delivers, which degrades before the 503 limit.
+        let rotation_us = now.saturating_duration_since(conn.next_check).as_micros() as u64;
+        let had_pending = conn.pending.is_some();
+        let visit_started = Instant::now();
+        let outcome = service(conn, handler.as_ref(), &config, &shared);
+        let visit_us = visit_started.elapsed().as_micros() as u64;
+        let metrics = &shared.metrics;
+        metrics.visits.fetch_add(1, Ordering::Relaxed);
+        metrics
+            .visit_us_total
+            .fetch_add(visit_us, Ordering::Relaxed);
+        metrics.visit_us_max.fetch_max(visit_us, Ordering::Relaxed);
+        metrics
+            .rotation_us_total
+            .fetch_add(rotation_us, Ordering::Relaxed);
+        metrics
+            .rotation_us_max
+            .fetch_max(rotation_us, Ordering::Relaxed);
+        let has_pending = outcome.as_ref().is_some_and(|c| c.pending.is_some());
+        match (had_pending, has_pending) {
+            (false, true) => {
+                metrics.pending_responses.fetch_add(1, Ordering::Relaxed);
+            }
+            (true, false) => {
+                metrics.pending_responses.fetch_sub(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        match outcome {
             Some(conn) => shared.push(conn),
             None => {
-                shared.active.fetch_sub(1, Ordering::Relaxed);
+                metrics.active.fetch_sub(1, Ordering::Relaxed);
             }
         }
     }
@@ -893,7 +1036,7 @@ fn service(
             Parse::Complete(request, consumed) => {
                 conn.buf.drain(..consumed);
                 conn.served += 1;
-                shared.served_total.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.served_total.fetch_add(1, Ordering::Relaxed);
                 progressed = true;
                 let rotate = config.max_requests_per_connection > 0
                     && conn.served >= config.max_requests_per_connection;

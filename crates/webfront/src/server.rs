@@ -14,16 +14,20 @@
 //!   delivery.  The long poll never blocks a server worker: the route
 //!   returns a deferred [`Outcome::Pending`] the pool re-polls,
 //! * `GET /api/frame` — the latest frame immediately (or 404),
+//! * `GET /api/stats` — server-side backpressure metrics (run-queue depth,
+//!   worker rotation latency, per-visit service time, parked long-polls),
+//!   so overload is observable *before* the 503 connection limit trips,
 //! * `POST /api/steer` — submit steering parameters as JSON.
 //!
 //! Poll responses come straight from the hub's encode-once cache as shared
 //! `Arc<str>` payloads — the route layer never re-encodes a frame.
 
-use crate::http::{HttpRequest, HttpResponse, HttpServer, HttpServerConfig, Outcome};
+use crate::http::{HttpRequest, HttpResponse, HttpServer, HttpServerConfig, Outcome, PoolMetrics};
 use crate::hub::{PollMode, SessionHub, SteeringInbox};
 use crate::page::INDEX_HTML;
 use ricsa_hydro::steering::SteerableParams;
 use std::net::SocketAddr;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Sizing knobs for the whole front end: the HTTP pool plus the hub.
@@ -66,10 +70,14 @@ impl FrontEndServer {
     pub fn start_with(addr: &str, config: FrontEndConfig) -> std::io::Result<FrontEndServer> {
         let hub = SessionHub::with_limits(config.hub_capacity, config.max_clients);
         let inbox = SteeringInbox::new();
+        // The metrics object outlives the closure/server split: the route
+        // handler reads from it, the pool writes into it.
+        let metrics = Arc::new(PoolMetrics::default());
         let route_hub = hub.clone();
         let route_inbox = inbox.clone();
-        let http = HttpServer::start_with(addr, config.http, move |req| {
-            route(&route_hub, &route_inbox, req)
+        let route_metrics = metrics.clone();
+        let http = HttpServer::start_with_metrics(addr, config.http, metrics, move |req| {
+            route(&route_hub, &route_inbox, &route_metrics, req)
         })?;
         Ok(FrontEndServer { http, hub, inbox })
     }
@@ -99,6 +107,11 @@ impl FrontEndServer {
         self.http.requests_served()
     }
 
+    /// The pool's live backpressure metrics (what `/api/stats` serves).
+    pub fn metrics(&self) -> Arc<PoolMetrics> {
+        self.http.metrics()
+    }
+
     /// Shut the server down gracefully (see [`HttpServer::shutdown`]).
     pub fn shutdown(self) {
         self.http.shutdown();
@@ -106,7 +119,12 @@ impl FrontEndServer {
 }
 
 /// Route a request (exposed for tests).
-pub fn route(hub: &SessionHub, inbox: &SteeringInbox, req: HttpRequest) -> Outcome {
+pub fn route(
+    hub: &SessionHub,
+    inbox: &SteeringInbox,
+    metrics: &PoolMetrics,
+    req: HttpRequest,
+) -> Outcome {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/") | ("GET", "/index.html") => HttpResponse::ok("text/html", INDEX_HTML).into(),
         ("GET", "/api/state") => {
@@ -135,6 +153,22 @@ pub fn route(hub: &SessionHub, inbox: &SteeringInbox, req: HttpRequest) -> Outco
             Some(payload) => HttpResponse::json_shared(payload.json).into(),
             None => HttpResponse::not_found().into(),
         },
+        ("GET", "/api/stats") => {
+            let snapshot = metrics.snapshot();
+            let mut value = serde_json::to_value(&snapshot);
+            if let serde_json::Value::Object(map) = &mut value {
+                // Hub-side load next to the pool-side backpressure, so one
+                // request paints the whole serving picture.
+                map.insert("clients".into(), serde_json::json!(hub.client_count()));
+                map.insert(
+                    "latest_sequence".into(),
+                    serde_json::json!(hub.latest_sequence()),
+                );
+                map.insert("encode_count".into(), serde_json::json!(hub.encode_count()));
+                map.insert("pending_steering".into(), serde_json::json!(inbox.len()));
+            }
+            HttpResponse::json(&value).into()
+        }
         ("GET", "/api/poll") => {
             let mode = match req.query_param("mode") {
                 Some("delta") => PollMode::Delta,
@@ -239,26 +273,31 @@ mod tests {
     fn index_and_unknown_routes() {
         let hub = SessionHub::default();
         let inbox = SteeringInbox::new();
-        let index = resolve(route(&hub, &inbox, get("/", &[])));
+        let metrics = PoolMetrics::default();
+        let index = resolve(route(&hub, &inbox, &metrics, get("/", &[])));
         assert_eq!(index.status, 200);
         assert!(String::from_utf8_lossy(index.body.as_bytes()).contains("XMLHttpRequest"));
-        assert_eq!(resolve(route(&hub, &inbox, get("/nope", &[]))).status, 404);
+        assert_eq!(
+            resolve(route(&hub, &inbox, &metrics, get("/nope", &[]))).status,
+            404
+        );
     }
 
     #[test]
     fn state_and_frame_routes_reflect_published_frames() {
         let hub = SessionHub::default();
         let inbox = SteeringInbox::new();
+        let metrics = PoolMetrics::default();
         assert_eq!(
-            resolve(route(&hub, &inbox, get("/api/frame", &[]))).status,
+            resolve(route(&hub, &inbox, &metrics, get("/api/frame", &[]))).status,
             404
         );
         hub.publish(sample_frame());
-        let state = resolve(route(&hub, &inbox, get("/api/state", &[])));
+        let state = resolve(route(&hub, &inbox, &metrics, get("/api/state", &[])));
         let value: serde_json::Value = serde_json::from_slice(state.body.as_bytes()).unwrap();
         assert_eq!(value["latest_sequence"], 1);
         assert_eq!(value["cycle"], 4);
-        let frame = resolve(route(&hub, &inbox, get("/api/frame", &[])));
+        let frame = resolve(route(&hub, &inbox, &metrics, get("/api/frame", &[])));
         let value: serde_json::Value = serde_json::from_slice(frame.body.as_bytes()).unwrap();
         assert_eq!(value["sequence"], 1);
         let b64 = value["image_base64"].as_str().unwrap();
@@ -269,10 +308,12 @@ mod tests {
     fn poll_route_returns_new_frames_and_null_on_timeout() {
         let hub = SessionHub::default();
         let inbox = SteeringInbox::new();
+        let metrics = PoolMetrics::default();
         hub.publish(sample_frame());
         let poll = resolve(route(
             &hub,
             &inbox,
+            &metrics,
             get("/api/poll", &[("since", "0"), ("timeout_ms", "10")]),
         ));
         let value: serde_json::Value = serde_json::from_slice(poll.body.as_bytes()).unwrap();
@@ -281,6 +322,7 @@ mod tests {
         let empty = resolve(route(
             &hub,
             &inbox,
+            &metrics,
             get("/api/poll", &[("since", "1"), ("timeout_ms", "10")]),
         ));
         let value: serde_json::Value = serde_json::from_slice(empty.body.as_bytes()).unwrap();
@@ -291,6 +333,7 @@ mod tests {
     fn poll_route_serves_deltas_in_delta_mode() {
         let hub = SessionHub::default();
         let inbox = SteeringInbox::new();
+        let metrics = PoolMetrics::default();
         let mut img = ricsa_viz::image::Image::filled(64, 64, [10, 20, 30, 255]);
         hub.publish(Frame {
             image: img.encode_raw(),
@@ -304,6 +347,7 @@ mod tests {
         let poll = resolve(route(
             &hub,
             &inbox,
+            &metrics,
             get(
                 "/api/poll",
                 &[("since", "1"), ("timeout_ms", "10"), ("mode", "delta")],
@@ -319,7 +363,8 @@ mod tests {
     fn client_registration_and_cursor_driven_polls() {
         let hub = SessionHub::default();
         let inbox = SteeringInbox::new();
-        let reg = resolve(route(&hub, &inbox, get("/api/client", &[])));
+        let metrics = PoolMetrics::default();
+        let reg = resolve(route(&hub, &inbox, &metrics, get("/api/client", &[])));
         let value: serde_json::Value = serde_json::from_slice(reg.body.as_bytes()).unwrap();
         let client = value["client"].as_u64().unwrap().to_string();
         hub.publish(sample_frame());
@@ -328,6 +373,7 @@ mod tests {
         let poll = resolve(route(
             &hub,
             &inbox,
+            &metrics,
             get(
                 "/api/poll",
                 &[("client", client.as_str()), ("timeout_ms", "10")],
@@ -339,6 +385,7 @@ mod tests {
         let empty = resolve(route(
             &hub,
             &inbox,
+            &metrics,
             get(
                 "/api/poll",
                 &[("client", client.as_str()), ("timeout_ms", "10")],
@@ -352,6 +399,7 @@ mod tests {
     fn steering_route_sanitizes_and_queues_parameters() {
         let hub = SessionHub::default();
         let inbox = SteeringInbox::new();
+        let metrics = PoolMetrics::default();
         let body = serde_json::json!({
             "gamma": 1.4, "cfl": 7.0, "drive_strength": 1.0,
             "inflow_velocity": 2.0, "end_cycle": 100
@@ -364,7 +412,7 @@ mod tests {
             headers: HashMap::new(),
             body: body.to_string().into_bytes(),
         };
-        let resp = resolve(route(&hub, &inbox, req));
+        let resp = resolve(route(&hub, &inbox, &metrics, req));
         assert_eq!(resp.status, 200);
         let queued = inbox.drain_latest().unwrap();
         assert!(
@@ -381,7 +429,62 @@ mod tests {
             headers: HashMap::new(),
             body: b"not json".to_vec(),
         };
-        assert_eq!(resolve(route(&hub, &inbox, bad)).status, 400);
+        assert_eq!(resolve(route(&hub, &inbox, &metrics, bad)).status, 400);
+    }
+
+    #[test]
+    fn stats_route_reports_pool_and_hub_metrics() {
+        let hub = SessionHub::default();
+        let inbox = SteeringInbox::new();
+        let metrics = PoolMetrics::default();
+        hub.publish(sample_frame());
+        let stats = resolve(route(&hub, &inbox, &metrics, get("/api/stats", &[])));
+        assert_eq!(stats.status, 200);
+        let value: serde_json::Value = serde_json::from_slice(stats.body.as_bytes()).unwrap();
+        // Pool-side gauges exist (zero on a fresh metrics object)...
+        assert_eq!(value["queue_depth"], 0);
+        assert_eq!(value["pending_responses"], 0);
+        assert_eq!(value["requests_served"], 0);
+        assert!(value["mean_rotation_us"].as_f64().is_some());
+        assert!(value["mean_visit_us"].as_f64().is_some());
+        // ...next to the hub-side load picture.
+        assert_eq!(value["latest_sequence"], 1);
+        assert!(value["encode_count"].as_u64().unwrap() >= 1);
+        assert_eq!(value["pending_steering"], 0);
+    }
+
+    #[test]
+    fn live_server_stats_reflect_real_traffic() {
+        use crate::http::read_blocking_response;
+        use std::io::{BufReader, Write};
+        let server = FrontEndServer::start("127.0.0.1:0").unwrap();
+        server.hub().publish(sample_frame());
+        let stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writer
+            .write_all(b"GET /api/frame HTTP/1.1\r\nHost: l\r\n\r\n")
+            .unwrap();
+        let _ = read_blocking_response(&mut reader).unwrap();
+        writer
+            .write_all(b"GET /api/stats HTTP/1.1\r\nHost: l\r\n\r\n")
+            .unwrap();
+        let (status, _, body) = read_blocking_response(&mut reader).unwrap();
+        assert_eq!(status, 200);
+        let value: serde_json::Value = serde_json::from_slice(&body).unwrap();
+        // This connection itself is active, visits happened, and both
+        // requests (the frame fetch and this one) are counted by the time
+        // the handler ran.
+        assert!(value["active_connections"].as_u64().unwrap() >= 1);
+        assert!(value["visits"].as_u64().unwrap() >= 1);
+        assert!(value["requests_served"].as_u64().unwrap() >= 2);
+        // The snapshot round-trips through the typed struct too.
+        let snap: crate::http::PoolMetricsSnapshot = serde_json::from_slice(&body).unwrap();
+        assert!(snap.visits >= 1);
+        server.shutdown();
     }
 
     #[test]

@@ -12,11 +12,14 @@
 //! * [`viz`] — visualization algorithms and cost models,
 //! * [`hydro`] — the VH1-like hydrodynamics simulator,
 //! * [`pipemap`] — the pipeline-partitioning / network-mapping optimizer,
+//! * [`adapt`] — live monitoring, change-point detection and adaptive
+//!   re-mapping decisions,
 //! * [`core`] — the RICSA framework, sessions and experiment drivers,
 //! * [`webfront`] — the Ajax web front end.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
+pub use ricsa_adapt as adapt;
 pub use ricsa_core as core;
 pub use ricsa_hydro as hydro;
 pub use ricsa_netsim as netsim;
@@ -42,6 +45,7 @@ mod tests {
         let _ = crate::hydro::steering::SteerableParams::default();
         let _ = crate::core::catalog::SimulationCatalog::default();
         let _ = crate::transport::rm::RmParams::for_target(1e6);
+        let _ = crate::adapt::DetectorConfig::default();
         let _ = crate::webfront::hub::SessionHub::default();
         assert!(!crate::VERSION.is_empty());
     }

@@ -105,6 +105,46 @@ fn readme_serving_layer_section_matches_the_code() {
     assert_eq!(hub.encode_count(), encodes, "encode-once promise");
 }
 
+/// The adaptive re-mapping section must show the `adapt_live` command and
+/// its promises must hold against the actual crate surface: deterministic
+/// schedules, passive telemetry with no probe traffic, and a change-point
+/// detector that confirms a collapse but not jitter.
+#[test]
+fn readme_adaptive_section_matches_the_code() {
+    let text = readme();
+    assert!(
+        text.contains("--bin adapt_live -- --quick"),
+        "README must show the adapt_live --quick command"
+    );
+    for promise in [
+        "change-point",
+        "hysteresis",
+        "warm-started",
+        "FlowTelemetry",
+    ] {
+        assert!(
+            text.contains(promise),
+            "README adaptive/crate-map text must mention '{promise}'"
+        );
+    }
+    // Seeded schedules are byte-identical per seed.
+    use ricsa::netsim::dynamics::{generate_schedule, ScheduleParams};
+    let a = generate_schedule(8, &ScheduleParams::default(), 5);
+    let b = generate_schedule(8, &ScheduleParams::default(), 5);
+    assert_eq!(a, b, "generate_schedule determinism promise");
+    // The detector confirms a sustained collapse, never plain jitter.
+    use ricsa::adapt::{ChangePointDetector, DetectorConfig};
+    let mut detector = ChangePointDetector::new(DetectorConfig::default());
+    for i in 0..20 {
+        let jitter = if i % 2 == 0 { 1.05 } else { 0.95 };
+        assert!(detector.observe(100.0 * jitter).is_none(), "jitter tripped");
+    }
+    assert!(
+        (0..5).any(|_| detector.observe(10.0).is_some()),
+        "a sustained collapse must confirm"
+    );
+}
+
 /// The quickstart snippet names the quickstart example; run the same flow
 /// through the library (at reduced scale) so the snippet's promise — plan,
 /// simulate, measure — actually holds.
