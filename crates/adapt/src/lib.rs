@@ -11,10 +11,12 @@
 //!   jitter never triggers re-mapping thrash;
 //! * [`monitor::AdaptMonitor`] — ingests telemetry for the links the loop
 //!   currently exercises, maintains a live network estimate (the
-//!   calibration graph rescaled by observed goodput ratios), and, once a
-//!   change point is confirmed, decides via a warm-started re-solve
-//!   ([`ricsa_pipemap::dp::optimize_warm`]) whether the predicted win
-//!   clears the re-map margin.
+//!   calibration graph with bandwidths rescaled by observed goodput
+//!   ratios and delays rescaled by passive-RTT ratios — queueing
+//!   inflation detects degradations goodput cannot see), and, once a
+//!   change point is confirmed on either signal, decides via a
+//!   warm-started re-solve ([`ricsa_pipemap::dp::optimize_warm`])
+//!   whether the predicted win clears the re-map margin.
 //!
 //! The monitor is deliberately simulator-agnostic: it sees only telemetry
 //! snapshots and virtual timestamps, so it can be unit-tested without a
@@ -29,4 +31,6 @@ pub mod detector;
 pub mod monitor;
 
 pub use detector::{ChangePoint, ChangePointDetector, DetectorConfig};
-pub use monitor::{AdaptConfig, AdaptMonitor, Decision, DecisionRecord, LinkEstimate};
+pub use monitor::{
+    AdaptConfig, AdaptMonitor, Decision, DecisionRecord, LinkEstimate, SIGNAL_GOODPUT, SIGNAL_RTT,
+};

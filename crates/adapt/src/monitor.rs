@@ -1,23 +1,40 @@
 //! The adaptive re-mapping monitor.
 //!
 //! [`AdaptMonitor`] owns the controller's *live network estimate*: the
-//! calibration graph the session was planned on, with each link's
-//! bandwidth rescaled by the ratio of its currently observed goodput to
-//! the goodput baseline established when the link first carried traffic.
-//! Passive telemetry measures *change* precisely but absolute capacity
-//! poorly (protocol overhead, the target-goodput cap), so the ratio form
-//! keeps the estimate on the calibration scale — and works in both
-//! directions: a degradation shows as goodput collapsing below baseline,
-//! a recovery as it returning to the (target-capped) baseline.
+//! calibration graph the session was planned on, with each link rescaled
+//! by ratios of currently observed telemetry to the baseline established
+//! when the link first carried traffic.  Two independent signals feed it:
 //!
-//! When a per-link [`ChangePointDetector`] confirms a drift, the monitor
-//! re-prices the current mapping on the updated graph and runs a
-//! **warm-started** re-solve ([`optimize_warm`]) with the current mapping
-//! as incumbent.  Only a predicted improvement beyond the configured
-//! re-map margin — and outside the cooldown window — produces a
-//! [`Decision::Remap`]; everything else is an explicit, recorded *keep*.
-//! The decision trace is fully deterministic for a deterministic input
-//! stream (no wall clocks in any record).
+//! * **goodput → bandwidth**: the link's bandwidth estimate is the
+//!   calibrated bandwidth times `current / baseline` goodput.  Passive
+//!   telemetry measures *change* precisely but absolute capacity poorly
+//!   (protocol overhead, the target-goodput cap), so the ratio form keeps
+//!   the estimate on the calibration scale — and works in both
+//!   directions: a degradation shows as goodput collapsing below
+//!   baseline, a recovery as it returning to the (target-capped)
+//!   baseline.
+//! * **RTT → delay** (on by default, [`AdaptConfig::rtt_signal`]): the
+//!   link's delay estimate is the calibrated delay times
+//!   `current / baseline` smoothed RTT from the transport's passive
+//!   Karn-filtered probes.  Queueing-delay inflation is an *earlier*
+//!   degradation signal than goodput collapse: a flow that does not
+//!   saturate its link keeps its goodput (still below the shrunken
+//!   capacity) while its RTT inflates immediately, so an RTT change point
+//!   can confirm degradations the goodput detector sees frames later —
+//!   or never.  The `adapt_sweep` bench toggles this axis to measure the
+//!   detection-latency win.
+//!
+//! Each signal runs its own per-link [`ChangePointDetector`]; when either
+//! confirms a drift, the monitor re-prices the current mapping on the
+//! updated graph and runs a **warm-started** re-solve ([`optimize_warm`])
+//! with the current mapping as incumbent.  Only a predicted improvement
+//! beyond the configured re-map margin — and outside the cooldown window
+//! — produces a [`Decision::Remap`]; everything else is an explicit,
+//! recorded *keep*.  The decision trace is fully deterministic for a
+//! deterministic input stream: both ratio estimates derive from virtual-
+//! time telemetry only, records carry the triggering signal name, and no
+//! record contains a wall clock (solve timing is reported separately via
+//! [`AdaptMonitor::solve_timing`]).
 
 use crate::detector::{ChangePointDetector, DetectorConfig};
 use ricsa_pipemap::delay::{evaluate_mapping, validate_mapping, Mapping};
@@ -46,6 +63,13 @@ pub struct AdaptConfig {
     /// Lower clamp on the bandwidth scale estimate, so one pathological
     /// sample cannot drive a link estimate to zero.
     pub min_scale: f64,
+    /// Also run a change-point detector on the passive RTT signal and
+    /// rescale the link's *delay* estimate by the confirmed RTT ratio.
+    /// Queueing-delay inflation often confirms frames before the goodput
+    /// EWMA leaves its drift band (and is the only signal at all on
+    /// under-utilized flows), so this is the earlier-detection axis the
+    /// adaptation sweep measures.  On by default.
+    pub rtt_signal: bool,
 }
 
 impl Default for AdaptConfig {
@@ -56,9 +80,20 @@ impl Default for AdaptConfig {
             cooldown_s: 1.0,
             options: DpOptions::relayed(),
             min_scale: 0.01,
+            rtt_signal: true,
         }
     }
 }
+
+/// Upper clamp on the RTT-derived delay scale, so one pathological probe
+/// cannot price a link out of every mapping forever.
+const MAX_DELAY_SCALE: f64 = 1e3;
+
+/// [`DecisionRecord::signal`] value for goodput-triggered evaluations.
+pub const SIGNAL_GOODPUT: &str = "goodput";
+
+/// [`DecisionRecord::signal`] value for RTT-triggered evaluations.
+pub const SIGNAL_RTT: &str = "rtt";
 
 /// The live estimate the monitor maintains for one directed link.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -72,6 +107,15 @@ pub struct LinkEstimate {
     /// `current / baseline` — the scale applied to the calibrated
     /// bandwidth (clamped by [`AdaptConfig::min_scale`]).
     pub scale: f64,
+    /// Smoothed RTT when the link first reported a resolved probe,
+    /// seconds (0 until the first RTT sample arrives).
+    pub baseline_rtt_s: f64,
+    /// Most recent smoothed RTT, seconds.
+    pub current_rtt_s: f64,
+    /// `current_rtt / baseline_rtt` at the last confirmed RTT change —
+    /// the scale applied to the calibrated link *delay* (1 until a
+    /// change confirms; clamped to `[min_scale, 1e3]`).
+    pub delay_scale: f64,
 }
 
 /// What the monitor concluded at one evaluation.
@@ -85,13 +129,21 @@ pub enum Decision {
 }
 
 /// One row of the deterministic decision trace.
+///
+/// Every field derives from virtual-time telemetry — no wall clocks —
+/// so a seeded run reproduces the trace byte-for-byte (warm-solve wall
+/// time is reported separately by [`AdaptMonitor::solve_timing`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DecisionRecord {
     /// Virtual time of the evaluation, seconds.
     pub at: f64,
     /// The link whose confirmed change triggered the evaluation.
     pub trigger: (usize, usize),
-    /// Scale factor of the confirmed change (`new / old` goodput).
+    /// Which telemetry signal confirmed the change: [`SIGNAL_GOODPUT`]
+    /// (bandwidth rescale) or [`SIGNAL_RTT`] (delay rescale).
+    pub signal: String,
+    /// Scale factor of the confirmed change (`new / old` level of the
+    /// triggering signal — goodput ratio or RTT ratio).
     pub change_scale: f64,
     /// Predicted delay of the current mapping on the updated estimate.
     pub current_predicted: f64,
@@ -118,9 +170,11 @@ pub struct AdaptMonitor {
     current: Mapping,
     current_predicted: f64,
     detectors: BTreeMap<(usize, usize), ChangePointDetector>,
+    rtt_detectors: BTreeMap<(usize, usize), ChangePointDetector>,
     estimates: BTreeMap<(usize, usize), LinkEstimate>,
-    /// Confirmed change points not yet evaluated: `(link, scale)`.
-    pending: Vec<((usize, usize), f64)>,
+    /// Confirmed change points not yet evaluated:
+    /// `(link, scale, signal)`.
+    pending: Vec<((usize, usize), f64, &'static str)>,
     last_remap_at: f64,
     decisions: Vec<DecisionRecord>,
     /// Wall-clock microseconds spent in warm re-solves (reported
@@ -173,6 +227,7 @@ impl AdaptMonitor {
             current: initial.mapping,
             current_predicted: initial.delay.total,
             detectors: BTreeMap::new(),
+            rtt_detectors: BTreeMap::new(),
             estimates: BTreeMap::new(),
             pending: Vec::new(),
             last_remap_at: f64::NEG_INFINITY,
@@ -212,46 +267,73 @@ impl AdaptMonitor {
 
     /// Ingest one telemetry snapshot for the directed link `from → to`
     /// (topology node indices).  Updates the live estimate and runs the
-    /// link's change-point detector.
+    /// link's change-point detectors: goodput always, RTT when
+    /// [`AdaptConfig::rtt_signal`] is on and the flow resolved at least
+    /// one passive probe.
     pub fn ingest(&mut self, from: usize, to: usize, telemetry: &FlowTelemetry) {
         if !telemetry.has_signal() {
             return;
         }
         let key = (from, to);
-        let sample = telemetry.goodput_bps;
-        let detector = self
-            .detectors
-            .entry(key)
-            .or_insert_with(|| ChangePointDetector::new(self.config.detector));
-        let confirmed = detector.observe(sample);
-        let calibrated = self
+        let (calibrated_bandwidth, calibrated_delay) = self
             .base_graph
             .link_between(from, to)
-            .map(|l| l.bandwidth)
-            .unwrap_or(0.0);
+            .map(|l| (l.bandwidth, l.delay))
+            .unwrap_or((0.0, 0.0));
+        let sample = telemetry.goodput_bps;
         let entry = self.estimates.entry(key).or_insert(LinkEstimate {
-            calibrated_bandwidth: calibrated,
+            calibrated_bandwidth,
             baseline_goodput: sample,
             current_goodput: sample,
             scale: 1.0,
+            baseline_rtt_s: 0.0,
+            current_rtt_s: 0.0,
+            delay_scale: 1.0,
         });
         entry.current_goodput = sample;
-        if let Some(cp) = confirmed {
+        let mut confirmed_any = false;
+        if let Some(cp) = self
+            .detectors
+            .entry(key)
+            .or_insert_with(|| ChangePointDetector::new(self.config.detector))
+            .observe(sample)
+        {
             // Scale relative to the link's *first* baseline, so repeated
             // changes compose correctly (baseline_goodput never moves).
             let scale =
                 (cp.new_level / entry.baseline_goodput.max(1e-12)).max(self.config.min_scale);
             entry.scale = scale;
+            self.pending.push((key, cp.scale(), SIGNAL_GOODPUT));
+            confirmed_any = true;
+        }
+        if self.config.rtt_signal && telemetry.rtt_samples > 0 {
+            let rtt = telemetry.rtt_s;
+            if entry.baseline_rtt_s <= 0.0 {
+                entry.baseline_rtt_s = rtt;
+            }
+            entry.current_rtt_s = rtt;
+            if let Some(cp) = self
+                .rtt_detectors
+                .entry(key)
+                .or_insert_with(|| ChangePointDetector::new(self.config.detector))
+                .observe(rtt)
+            {
+                // Queueing inflation rescales the *delay* estimate, again
+                // against the link's first baseline so changes never stack.
+                let delay_scale = (cp.new_level / entry.baseline_rtt_s.max(1e-12))
+                    .clamp(self.config.min_scale, MAX_DELAY_SCALE);
+                entry.delay_scale = delay_scale;
+                self.pending.push((key, cp.scale(), SIGNAL_RTT));
+                confirmed_any = true;
+            }
+        }
+        if confirmed_any {
             self.graph.set_measured(
                 from,
                 to,
-                (entry.calibrated_bandwidth * scale).max(1.0),
-                self.base_graph
-                    .link_between(from, to)
-                    .map(|l| l.delay)
-                    .unwrap_or(0.0),
+                (entry.calibrated_bandwidth * entry.scale).max(1.0),
+                (calibrated_delay * entry.delay_scale).max(0.0),
             );
-            self.pending.push((key, cp.scale()));
         }
     }
 
@@ -259,7 +341,7 @@ impl AdaptMonitor {
     /// the current mapping, warm re-solve, and decide.  Appends one
     /// [`DecisionRecord`] per call that had a pending change.
     pub fn evaluate(&mut self, now: f64) -> Decision {
-        let Some((trigger, change_scale)) = self.pending.pop() else {
+        let Some((trigger, change_scale, signal)) = self.pending.pop() else {
             return Decision::Keep;
         };
         self.pending.clear(); // one evaluation covers all pending changes
@@ -279,6 +361,7 @@ impl AdaptMonitor {
             self.decisions.push(DecisionRecord {
                 at: now,
                 trigger,
+                signal: signal.into(),
                 change_scale,
                 current_predicted,
                 resolved_predicted: None,
@@ -289,7 +372,7 @@ impl AdaptMonitor {
             // the new level, so this change would never re-confirm — the
             // evaluation must retry once the cooldown expires or the loop
             // would sit on a stale mapping forever.
-            self.pending.push((trigger, change_scale));
+            self.pending.push((trigger, change_scale, signal));
             return Decision::Keep;
         }
 
@@ -309,6 +392,7 @@ impl AdaptMonitor {
             self.decisions.push(DecisionRecord {
                 at: now,
                 trigger,
+                signal: signal.into(),
                 change_scale,
                 current_predicted,
                 resolved_predicted: None,
@@ -324,6 +408,7 @@ impl AdaptMonitor {
         self.decisions.push(DecisionRecord {
             at: now,
             trigger,
+            signal: signal.into(),
             change_scale,
             current_predicted,
             resolved_predicted: Some(resolved_predicted),
@@ -464,6 +549,53 @@ mod tests {
         assert!(!rec.remapped);
         assert_eq!(rec.trigger, (0, 2));
         assert!(rec.reason == "same-mapping" || rec.reason == "margin");
+    }
+
+    #[test]
+    fn rtt_inflation_with_flat_goodput_triggers_detection() {
+        // The flow does not saturate its link, so a capacity drop leaves
+        // goodput flat — only queueing delay (RTT) inflates.  The RTT
+        // detector must confirm; with the signal off, nothing may fire.
+        let sample = |rtt: f64| FlowTelemetry {
+            flow_id: 1,
+            goodput_bps: 20e6,
+            rtt_s: rtt,
+            goodput_samples: 1,
+            rtt_samples: 1,
+            last_update_s: 1.0,
+            ..FlowTelemetry::default()
+        };
+        let mut m = monitor();
+        for t in 0..3 {
+            m.ingest(0, 1, &sample(0.02));
+            assert_eq!(m.evaluate(t as f64), Decision::Keep);
+        }
+        // RTT inflates 10×; hysteresis (2) needs two deviating samples.
+        m.ingest(0, 1, &sample(0.2));
+        m.evaluate(10.0);
+        assert!(m.decisions().is_empty(), "one sample must not confirm");
+        m.ingest(0, 1, &sample(0.2));
+        m.evaluate(11.0);
+        let rec = m.decisions().last().expect("RTT inflation must confirm");
+        assert_eq!(rec.signal, SIGNAL_RTT);
+        assert_eq!(rec.trigger, (0, 1));
+        assert!(rec.change_scale > 2.0, "scale {}", rec.change_scale);
+        // The live estimate rescaled the link's delay, not its bandwidth.
+        let est = &m.estimates()[&(0, 1)];
+        assert!(est.delay_scale > 2.0, "delay_scale {}", est.delay_scale);
+        assert_eq!(est.scale, 1.0);
+        // Same stream with the RTT signal disabled: no detection at all.
+        let (pipeline, graph) = two_route_graph();
+        let config = AdaptConfig {
+            rtt_signal: false,
+            ..AdaptConfig::default()
+        };
+        let mut off = AdaptMonitor::new(pipeline, graph, 0, 3, config).unwrap();
+        for (t, rtt) in [0.02, 0.02, 0.02, 0.2, 0.2].iter().enumerate() {
+            off.ingest(0, 1, &sample(*rtt));
+            assert_eq!(off.evaluate(t as f64), Decision::Keep);
+        }
+        assert!(off.decisions().is_empty(), "{:?}", off.decisions());
     }
 
     #[test]

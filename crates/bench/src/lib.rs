@@ -5,6 +5,8 @@
 //! supplementary transport-stabilization, optimizer-scaling and cost-model
 //! experiments listed in DESIGN.md §4.
 
+#![deny(missing_docs)]
+
 use ricsa_core::experiment::ExperimentOptions;
 use ricsa_netsim::time::SimTime;
 use ricsa_viz::image::Image;

@@ -21,6 +21,9 @@
 //! * [`adapt`] — the adaptive re-mapping driver: frame-paced loops on
 //!   time-varying WANs with monitor-decided, frame-boundary migrations
 //!   (see DESIGN.md §8),
+//! * [`adapt_sweep`] — the dynamic-scenario sweep quantifying
+//!   static-vs-adaptive-vs-oracle win rates across hundreds of seeded
+//!   schedules (see DESIGN.md §9),
 //! * [`api`] — the `Ricsa*` simulation-side API mirroring the six calls the
 //!   paper inserts into VH1 (Fig. 7), used by the web front end and the
 //!   examples to steer a live in-process simulation.
@@ -28,6 +31,7 @@
 #![deny(missing_docs)]
 
 pub mod adapt;
+pub mod adapt_sweep;
 pub mod api;
 pub mod catalog;
 pub mod experiment;
@@ -38,6 +42,9 @@ pub mod stage;
 pub mod sweep;
 
 pub use adapt::{run_adaptive_loop, AdaptPolicy, AdaptiveLoopSpec, AdaptiveRun};
+pub use adapt_sweep::{
+    format_adapt_sweep_report, run_adapt_sweep, AdaptSweepConfig, AdaptSweepReport,
+};
 pub use api::{SimulationCommand, SimulationServer, SimulationStatus};
 pub use catalog::{standard_pipeline, SessionSpec, SimulationCatalog};
 pub use experiment::{

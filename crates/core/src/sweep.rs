@@ -113,7 +113,7 @@ pub struct SweepReport {
 }
 
 /// Derive a per-scenario seed that decorrelates neighbouring scenarios.
-fn scenario_seed(base: u64, index: u64) -> u64 {
+pub(crate) fn scenario_seed(base: u64, index: u64) -> u64 {
     (base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_add(index)
 }
 

@@ -19,6 +19,8 @@
 //! The solver's output is converted into `ricsa-vizdata` containers so it
 //! plugs directly into the visualization pipeline.
 
+#![deny(missing_docs)]
+
 pub mod eos;
 pub mod problems;
 pub mod riemann;

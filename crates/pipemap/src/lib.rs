@@ -40,6 +40,7 @@ pub use exhaustive::exhaustive_optimal;
 pub use network::{NetGraph, NetLink, NetNode};
 pub use pipeline::{ModuleSpec, Pipeline};
 pub use sweep::{
-    solve_batch, solve_scenario, Scenario, ScenarioSolution, SweepRecord, SweepSummary,
+    solve_batch, solve_scenario, AdaptSweepRecord, AdaptSweepSummary, Scenario, ScenarioSolution,
+    SweepRecord, SweepSummary,
 };
 pub use vrt::{RoutingEntry, VisualizationRoutingTable};

@@ -340,6 +340,224 @@ impl SweepSummary {
     }
 }
 
+/// One serializable row of a *dynamic*-scenario (adaptation) sweep: a
+/// generated WAN plus one seeded event schedule, run under the static,
+/// adaptive and oracle control policies (see `ricsa-core::adapt_sweep`,
+/// DESIGN.md §9).  Lives here, next to [`SweepRecord`], so the record and
+/// summary shapes every sweep reports are defined in one crate.
+///
+/// Equality ignores the wall-clock solve-timing fields (`warm_solve_us`,
+/// `cold_solve_us`), exactly as [`SweepRecord`] ignores its `dp_*_us`
+/// fields: everything else is deterministic per seed and the determinism
+/// tests compare whole record sets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdaptSweepRecord {
+    /// Scenario id within the sweep (`wan_index * schedules_per_wan + k`).
+    pub id: u64,
+    /// Human-readable description: WAN family/scale plus schedule seed.
+    pub label: String,
+    /// Seed the WAN topology was generated from.
+    pub wan_seed: u64,
+    /// Seed of this dynamic schedule (a family member of `wan_seed`).
+    pub schedule_seed: u64,
+    /// Node count of the WAN.
+    pub nodes: usize,
+    /// Directed link count of the WAN.
+    pub links: usize,
+    /// Scheduled link events that landed *inside the run's measured
+    /// virtual window* (events the policies actually experienced; events
+    /// scheduled past the last completed frame are not counted).  0 when
+    /// the scenario never ran.
+    pub events: usize,
+    /// Frames requested per policy run.
+    pub frames: u64,
+    /// Frames delivered per virtual second under the static policy.
+    pub static_fps: Option<f64>,
+    /// Frames delivered per virtual second under the adaptive policy.
+    pub adaptive_fps: Option<f64>,
+    /// Frames delivered per virtual second under the oracle policy.
+    pub oracle_fps: Option<f64>,
+    /// Static post-event mean loop delay divided by adaptive post-event
+    /// mean (> 1: adaptation won; ≈ 1: tie — typically no event touched
+    /// the active route; < 1: adaptation lost, e.g. a migration paid for
+    /// a change that recovered).  `None` when no event landed inside the
+    /// run's virtual window or a policy run completed no post-event frame.
+    pub post_event_speedup: Option<f64>,
+    /// Adaptive steady-state mean delay divided by the oracle's (the
+    /// adaptation quality bound: 1 = converged onto the oracle).
+    pub oracle_gap: Option<f64>,
+    /// Virtual seconds from the first scheduled event to the adaptive
+    /// run's first migration commit.
+    pub remap_latency_s: Option<f64>,
+    /// Migrations the adaptive run executed.
+    pub migrations: usize,
+    /// Virtual seconds from the first scheduled event to the first
+    /// confirmed change-point detection, RTT signal on.
+    pub detect_latency_s: Option<f64>,
+    /// The same with the RTT signal off (goodput-only detection).
+    pub detect_latency_no_rtt_s: Option<f64>,
+    /// Frames lost, summed over the policy runs (0 on a healthy record).
+    pub frames_lost: u64,
+    /// Duplicated frame deliveries, summed over the policy runs (0 on a
+    /// healthy record).
+    pub frames_duplicated: u64,
+    /// FNV-1a digest of the adaptive run's serialized decision trace —
+    /// the compact determinism witness two runs of the same seed must
+    /// reproduce.
+    pub decision_digest: String,
+    /// Mean wall-clock microseconds per warm (adaptive) re-solve.
+    pub warm_solve_us: f64,
+    /// Mean wall-clock microseconds per cold (oracle) re-solve.
+    pub cold_solve_us: f64,
+}
+
+impl PartialEq for AdaptSweepRecord {
+    fn eq(&self, other: &Self) -> bool {
+        // Solve timings excluded: wall-clock, not part of scenario identity.
+        self.id == other.id
+            && self.label == other.label
+            && self.wan_seed == other.wan_seed
+            && self.schedule_seed == other.schedule_seed
+            && self.nodes == other.nodes
+            && self.links == other.links
+            && self.events == other.events
+            && self.frames == other.frames
+            && self.static_fps == other.static_fps
+            && self.adaptive_fps == other.adaptive_fps
+            && self.oracle_fps == other.oracle_fps
+            && self.post_event_speedup == other.post_event_speedup
+            && self.oracle_gap == other.oracle_gap
+            && self.remap_latency_s == other.remap_latency_s
+            && self.migrations == other.migrations
+            && self.detect_latency_s == other.detect_latency_s
+            && self.detect_latency_no_rtt_s == other.detect_latency_no_rtt_s
+            && self.frames_lost == other.frames_lost
+            && self.frames_duplicated == other.frames_duplicated
+            && self.decision_digest == other.decision_digest
+    }
+}
+
+/// Aggregate statistics over an [`AdaptSweepRecord`] set: adaptation win
+/// rates against the static policy, oracle-gap percentiles, and the
+/// detection-latency comparison of the RTT-signal axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptSweepSummary {
+    /// Total dynamic scenarios in the set.
+    pub scenarios: usize,
+    /// Records with a comparable post-event window (an event landed
+    /// in-window and both static and adaptive completed frames after it);
+    /// only these contribute to the win/speedup statistics.
+    pub compared: usize,
+    /// Compared records where adaptive strictly beat static (beyond
+    /// round-off).
+    pub adaptive_wins: usize,
+    /// Compared records where adaptive strictly lost (the honest column:
+    /// migrations that paid for changes which recovered, or thrash near
+    /// the margin/cooldown boundary).
+    pub adaptive_losses: usize,
+    /// Compared records decided within round-off — typically no scheduled
+    /// event touched the active route, so both policies ran identically.
+    pub ties: usize,
+    /// `adaptive_wins / compared` (0 when nothing was compared).
+    pub win_rate: f64,
+    /// Mean post-event speedup (static / adaptive) over compared records.
+    pub mean_post_event_speedup: f64,
+    /// 10th percentile of the post-event speedups.
+    pub p10_post_event_speedup: f64,
+    /// Median post-event speedup.
+    pub p50_post_event_speedup: f64,
+    /// 90th percentile of the post-event speedups.
+    pub p90_post_event_speedup: f64,
+    /// Mean adaptive/oracle steady-state ratio over records carrying one.
+    pub mean_oracle_gap: f64,
+    /// 90th percentile of the oracle gap.
+    pub p90_oracle_gap: f64,
+    /// Mean virtual seconds from first event to migration commit, over
+    /// adaptive runs that migrated.
+    pub mean_remap_latency_s: Option<f64>,
+    /// Fraction of event-carrying records where the RTT-on controller
+    /// confirmed any detection.
+    pub detect_rate: f64,
+    /// The same for the goodput-only (RTT-off) controller.
+    pub detect_rate_no_rtt: f64,
+    /// Mean detection latency of the RTT-on controller, seconds.
+    pub mean_detect_latency_s: Option<f64>,
+    /// Mean detection latency of the goodput-only controller, seconds.
+    pub mean_detect_latency_no_rtt_s: Option<f64>,
+    /// Mean `(goodput-only − RTT-on)` detection latency over records
+    /// where both confirmed — positive means the RTT signal detected
+    /// earlier.
+    pub mean_rtt_detect_advantage_s: Option<f64>,
+}
+
+impl AdaptSweepSummary {
+    /// Compute the summary of a record set.
+    pub fn aggregate(records: &[AdaptSweepRecord]) -> AdaptSweepSummary {
+        let mut speedups: Vec<f64> = records
+            .iter()
+            .filter_map(|r| r.post_event_speedup)
+            .collect();
+        speedups.sort_by(|a, b| a.partial_cmp(b).expect("speedups are finite"));
+        let compared = speedups.len();
+        let wins = speedups.iter().filter(|&&s| s > 1.0 + 1e-9).count();
+        let losses = speedups.iter().filter(|&&s| s < 1.0 - 1e-9).count();
+        let mean = |xs: &[f64]| {
+            if xs.is_empty() {
+                0.0
+            } else {
+                xs.iter().sum::<f64>() / xs.len() as f64
+            }
+        };
+        let mut gaps: Vec<f64> = records.iter().filter_map(|r| r.oracle_gap).collect();
+        gaps.sort_by(|a, b| a.partial_cmp(b).expect("gaps are finite"));
+        let remap: Vec<f64> = records.iter().filter_map(|r| r.remap_latency_s).collect();
+        let eventful: Vec<&AdaptSweepRecord> = records.iter().filter(|r| r.events > 0).collect();
+        let detect: Vec<f64> = eventful.iter().filter_map(|r| r.detect_latency_s).collect();
+        let detect_no_rtt: Vec<f64> = eventful
+            .iter()
+            .filter_map(|r| r.detect_latency_no_rtt_s)
+            .collect();
+        let advantage: Vec<f64> = eventful
+            .iter()
+            .filter_map(|r| match (r.detect_latency_s, r.detect_latency_no_rtt_s) {
+                (Some(rtt), Some(goodput_only)) => Some(goodput_only - rtt),
+                _ => None,
+            })
+            .collect();
+        let rate = |n: usize| {
+            if eventful.is_empty() {
+                0.0
+            } else {
+                n as f64 / eventful.len() as f64
+            }
+        };
+        AdaptSweepSummary {
+            scenarios: records.len(),
+            compared,
+            adaptive_wins: wins,
+            adaptive_losses: losses,
+            ties: compared - wins - losses,
+            win_rate: if compared == 0 {
+                0.0
+            } else {
+                wins as f64 / compared as f64
+            },
+            mean_post_event_speedup: mean(&speedups),
+            p10_post_event_speedup: percentile(&speedups, 0.10),
+            p50_post_event_speedup: percentile(&speedups, 0.50),
+            p90_post_event_speedup: percentile(&speedups, 0.90),
+            mean_oracle_gap: mean(&gaps),
+            p90_oracle_gap: percentile(&gaps, 0.90),
+            mean_remap_latency_s: (!remap.is_empty()).then(|| mean(&remap)),
+            detect_rate: rate(detect.len()),
+            detect_rate_no_rtt: rate(detect_no_rtt.len()),
+            mean_detect_latency_s: (!detect.is_empty()).then(|| mean(&detect)),
+            mean_detect_latency_no_rtt_s: (!detect_no_rtt.is_empty()).then(|| mean(&detect_no_rtt)),
+            mean_rtt_detect_advantage_s: (!advantage.is_empty()).then(|| mean(&advantage)),
+        }
+    }
+}
+
 /// Nearest-rank percentile of an ascending-sorted slice (0 when empty).
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
@@ -448,5 +666,69 @@ mod tests {
         let empty = SweepSummary::aggregate(&[]);
         assert_eq!(empty.compared, 0);
         assert_eq!(empty.win_rate, 0.0);
+    }
+
+    #[test]
+    fn adapt_summary_counts_wins_losses_ties_and_detection_axes() {
+        let mk = |id: u64,
+                  speedup: Option<f64>,
+                  events: usize,
+                  detect: Option<f64>,
+                  detect_no_rtt: Option<f64>| AdaptSweepRecord {
+            id,
+            label: String::new(),
+            wan_seed: id,
+            schedule_seed: id,
+            nodes: 8,
+            links: 20,
+            events,
+            frames: 10,
+            static_fps: Some(1.0),
+            adaptive_fps: Some(1.0),
+            oracle_fps: Some(1.0),
+            post_event_speedup: speedup,
+            oracle_gap: speedup.map(|_| 1.0),
+            remap_latency_s: speedup.filter(|&s| s > 1.0).map(|_| 2.0),
+            migrations: usize::from(speedup.map(|s| s > 1.0).unwrap_or(false)),
+            detect_latency_s: detect,
+            detect_latency_no_rtt_s: detect_no_rtt,
+            frames_lost: 0,
+            frames_duplicated: 0,
+            decision_digest: "d".into(),
+            warm_solve_us: 1.0,
+            cold_solve_us: 2.0,
+        };
+        let records = vec![
+            mk(0, Some(2.0), 3, Some(1.0), Some(3.0)),
+            mk(1, Some(1.0), 2, Some(1.5), None),
+            mk(2, Some(0.9), 1, None, None),
+            mk(3, None, 0, None, None),
+        ];
+        let s = AdaptSweepSummary::aggregate(&records);
+        assert_eq!(s.scenarios, 4);
+        assert_eq!(s.compared, 3);
+        assert_eq!(s.adaptive_wins, 1);
+        assert_eq!(s.adaptive_losses, 1);
+        assert_eq!(s.ties, 1);
+        assert!((s.win_rate - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.mean_post_event_speedup - 1.3).abs() < 1e-12);
+        // Detection rates are over the 3 eventful records only.
+        assert!((s.detect_rate - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.detect_rate_no_rtt - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.mean_detect_latency_s, Some(1.25));
+        assert_eq!(s.mean_detect_latency_no_rtt_s, Some(3.0));
+        // Advantage counted only where both controllers detected.
+        assert_eq!(s.mean_rtt_detect_advantage_s, Some(2.0));
+        assert_eq!(s.mean_remap_latency_s, Some(2.0));
+        // Equality ignores the wall-clock solve timings.
+        let mut a = mk(9, Some(2.0), 1, None, None);
+        let b = mk(9, Some(2.0), 1, None, None);
+        a.warm_solve_us = 777.0;
+        a.cold_solve_us = 888.0;
+        assert_eq!(a, b);
+        let empty = AdaptSweepSummary::aggregate(&[]);
+        assert_eq!(empty.compared, 0);
+        assert_eq!(empty.detect_rate, 0.0);
+        assert_eq!(empty.mean_detect_latency_s, None);
     }
 }

@@ -25,6 +25,8 @@
 //!   `T_Case(i)`, `P_Case(i)`, `t_sample` and `T_advection` on test volumes
 //!   exactly as Section 4.4 prescribes.
 
+#![deny(missing_docs)]
+
 pub mod camera;
 pub mod cell;
 pub mod cost;

@@ -17,6 +17,8 @@
 //! * down-sampling utilities ([`downsample`]), mirroring the paper's 8×
 //!   down-sampling of the Visible Woman volume.
 
+#![deny(missing_docs)]
+
 pub mod dataset;
 pub mod downsample;
 pub mod field;

@@ -19,6 +19,8 @@
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
+#![deny(missing_docs)]
+
 pub use ricsa_adapt as adapt;
 pub use ricsa_core as core;
 pub use ricsa_hydro as hydro;
