@@ -80,6 +80,22 @@ impl ChangePointDetector {
         }
     }
 
+    /// A detector whose baseline is pre-seeded to an expected level (e.g.
+    /// a calibrated link delay) instead of being learned from the first
+    /// sample.  The first observation is then immediately comparable: a
+    /// signal already deviating from the expectation arms the detector at
+    /// sample one, where a cold detector would silently adopt the deviant
+    /// level as the norm.  A non-finite or non-positive seed falls back to
+    /// a cold start.
+    pub fn with_baseline(config: DetectorConfig, baseline: f64) -> Self {
+        ChangePointDetector {
+            config,
+            ewma: None,
+            baseline: (baseline.is_finite() && baseline > 0.0).then_some(baseline),
+            streak: 0,
+        }
+    }
+
     /// The current baseline level, if established.
     pub fn baseline(&self) -> Option<f64> {
         self.baseline
@@ -193,6 +209,38 @@ mod tests {
         for i in 0..20 {
             assert_eq!(d.observe(100.0), None, "post-outlier sample {i}");
         }
+    }
+
+    #[test]
+    fn seeded_baseline_detects_deviation_in_the_very_first_samples() {
+        let config = DetectorConfig {
+            drift_threshold: 0.3,
+            hysteresis: 2,
+            alpha: 0.6,
+        };
+        // The signal is already inflated when the first sample arrives: a
+        // cold detector would adopt 0.2 as normal and never fire; the
+        // seeded one arms at sample one and confirms at two.
+        let mut d = ChangePointDetector::with_baseline(config, 0.02);
+        assert_eq!(d.baseline(), Some(0.02));
+        assert_eq!(d.observe(0.2), None, "hysteresis still applies");
+        let cp = d.observe(0.2).expect("deviation from the seed confirms");
+        assert!((cp.old_level - 0.02).abs() < 1e-12);
+        assert!(cp.scale() > 5.0);
+        // A healthy signal near the seed is absorbed, never confirmed.
+        let mut h = ChangePointDetector::with_baseline(config, 0.024);
+        for i in 0..50 {
+            assert_eq!(h.observe(0.02), None, "healthy sample {i} confirmed");
+        }
+        // Degenerate seeds fall back to a cold start.
+        assert_eq!(
+            ChangePointDetector::with_baseline(config, f64::NAN).baseline(),
+            None
+        );
+        assert_eq!(
+            ChangePointDetector::with_baseline(config, 0.0).baseline(),
+            None
+        );
     }
 
     #[test]

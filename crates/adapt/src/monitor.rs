@@ -217,7 +217,7 @@ impl AdaptMonitor {
         config: AdaptConfig,
         initial: OptimizedMapping,
     ) -> AdaptMonitor {
-        AdaptMonitor {
+        let mut monitor = AdaptMonitor {
             config,
             pipeline,
             base_graph: graph.clone(),
@@ -234,6 +234,56 @@ impl AdaptMonitor {
             decisions: Vec::new(),
             solve_us_total: 0.0,
             solves: 0,
+        };
+        monitor.seed_route_rtt_baselines();
+        monitor
+    }
+
+    /// Seed RTT baselines for links of the deployed route that have no
+    /// RTT history yet, from the calibration graph (expected RTT ≈ 2 ×
+    /// the one-way calibrated delay).
+    ///
+    /// Without this, a link that never carried loop traffic starts with a
+    /// *cold* detector that adopts the first post-deployment RTT sample
+    /// as its norm — so a route that is already degraded when traffic
+    /// lands on it (a second network event inside the re-map cooldown)
+    /// could never be detected.  With the seed, healthy traffic sits
+    /// inside the drift band and the baseline adapts smoothly, while
+    /// inflated traffic arms the detector from the first sample.
+    fn seed_route_rtt_baselines(&mut self) {
+        if !self.config.rtt_signal {
+            return;
+        }
+        let links: Vec<(usize, usize)> = self
+            .current
+            .path
+            .windows(2)
+            .map(|pair| (pair[0], pair[1]))
+            .collect();
+        for (from, to) in links {
+            let Some(link) = self.base_graph.link_between(from, to) else {
+                continue;
+            };
+            let expected_rtt = 2.0 * link.delay;
+            if !(expected_rtt.is_finite() && expected_rtt > 0.0) {
+                continue;
+            }
+            let entry = self.estimates.entry((from, to)).or_insert(LinkEstimate {
+                calibrated_bandwidth: link.bandwidth,
+                baseline_goodput: 0.0,
+                current_goodput: 0.0,
+                scale: 1.0,
+                baseline_rtt_s: 0.0,
+                current_rtt_s: 0.0,
+                delay_scale: 1.0,
+            });
+            if entry.baseline_rtt_s <= 0.0 {
+                entry.baseline_rtt_s = expected_rtt;
+            }
+            let config = self.config.detector;
+            self.rtt_detectors
+                .entry((from, to))
+                .or_insert_with(|| ChangePointDetector::with_baseline(config, expected_rtt));
         }
     }
 
@@ -290,6 +340,12 @@ impl AdaptMonitor {
             current_rtt_s: 0.0,
             delay_scale: 1.0,
         });
+        if entry.baseline_goodput <= 0.0 {
+            // The entry may pre-exist from RTT-baseline seeding (a route
+            // deployed before carrying traffic): the first real goodput
+            // sample still establishes that baseline.
+            entry.baseline_goodput = sample;
+        }
         entry.current_goodput = sample;
         let mut confirmed_any = false;
         if let Some(cp) = self
@@ -425,6 +481,10 @@ impl AdaptMonitor {
             self.current = resolved.mapping.clone();
             self.current_predicted = resolved_predicted;
             self.last_remap_at = now;
+            // The migration may route traffic over links with no RTT
+            // history; seed their baselines so a degradation already
+            // present on the new route is detectable immediately.
+            self.seed_route_rtt_baselines();
             Decision::Remap(Box::new(resolved))
         } else {
             Decision::Keep
@@ -596,6 +656,89 @@ mod tests {
             assert_eq!(off.evaluate(t as f64), Decision::Keep);
         }
         assert!(off.decisions().is_empty(), "{:?}", off.decisions());
+    }
+
+    #[test]
+    fn post_migration_rtt_baselines_are_seeded_from_calibration() {
+        // Regression (ROADMAP "RTT baselines cold after migration"): after
+        // a remap, traffic lands on links that never carried loop traffic.
+        // If a *second* network event has already inflated the new route's
+        // RTT, a cold detector would adopt the inflated level as its norm
+        // and the event would be undetectable forever.  The baseline
+        // seeded from the calibration delay keeps it visible.
+        let sample = |rtt: f64| FlowTelemetry {
+            flow_id: 1,
+            goodput_bps: 20e6,
+            rtt_s: rtt,
+            goodput_samples: 1,
+            rtt_samples: 1,
+            last_update_s: 1.0,
+            ..FlowTelemetry::default()
+        };
+        let remapped_monitor = || {
+            let (pipeline, graph) = two_route_graph();
+            let config = AdaptConfig {
+                cooldown_s: 5.0,
+                ..AdaptConfig::default()
+            };
+            let mut m = AdaptMonitor::new(pipeline, graph, 0, 3, config).unwrap();
+            for t in 0..3 {
+                m.ingest(0, 1, &telemetry(35e6));
+                m.ingest(1, 3, &telemetry(35e6));
+                m.evaluate(t as f64);
+            }
+            // Collapse the active route's goodput to force a remap to midB.
+            m.ingest(0, 1, &telemetry(3.5e6));
+            m.ingest(0, 1, &telemetry(3.5e6));
+            match m.evaluate(10.0) {
+                Decision::Remap(opt) => assert!(opt.mapping.path.contains(&2)),
+                Decision::Keep => panic!("collapse must remap"),
+            }
+            m
+        };
+
+        let mut m = remapped_monitor();
+        // The new route's links carry seeded baselines (≈ 2 × calibrated
+        // one-way delay) despite never having reported telemetry.
+        let est = &m.estimates()[&(0, 2)];
+        assert!(
+            (est.baseline_rtt_s - 0.024).abs() < 1e-9,
+            "seeded baseline, got {}",
+            est.baseline_rtt_s
+        );
+        // Second event *inside the cooldown*: the very first RTT samples
+        // from midB are already inflated.  Detection must still fire.
+        m.ingest(0, 2, &sample(0.2));
+        m.evaluate(11.0);
+        m.ingest(0, 2, &sample(0.2));
+        m.evaluate(12.0);
+        let confirmed: Vec<_> = m
+            .decisions()
+            .iter()
+            .filter(|r| r.signal == SIGNAL_RTT && r.trigger == (0, 2))
+            .collect();
+        assert!(
+            !confirmed.is_empty(),
+            "inflated RTT on the fresh route must confirm: {:?}",
+            m.decisions()
+        );
+        assert!(confirmed[0].change_scale > 2.0);
+
+        // Healthy traffic on the seeded route sits inside the drift band:
+        // the seed must not manufacture false positives.
+        let mut healthy = remapped_monitor();
+        for t in 0..10 {
+            healthy.ingest(0, 2, &sample(0.02));
+            healthy.evaluate(11.0 + t as f64);
+        }
+        assert!(
+            healthy
+                .decisions()
+                .iter()
+                .all(|r| !(r.signal == SIGNAL_RTT && r.trigger == (0, 2))),
+            "healthy RTT near the seed fired: {:?}",
+            healthy.decisions()
+        );
     }
 
     #[test]

@@ -1,45 +1,62 @@
-//! Load-test the Ajax serving layer: many concurrent long-pollers and
-//! steerers against an in-process front end over real TCP sockets.
+//! Load-test the Ajax serving layer across its two scheduling backends:
+//! the portable rotation pool and the epoll readiness reactor.
 //!
-//! One phase starts a [`FrontEndServer`], a publisher thread pushing
-//! synthetic frames (a small blob moving across a static background, so
-//! delta frames are genuinely sparse), `--pollers` long-polling clients on
-//! keep-alive connections, and a few steering clients POSTing parameter
-//! updates.  The run is executed twice — `mode=full` then `mode=delta` —
-//! and reports requests/s, frame-delivery latency percentiles
-//! (receive time minus publish time), and bytes on wire per delivered
-//! frame, whose ratio is the measured delta-mode saving.  A final table
-//! prices the hub's encode-once cache against re-encoding per client.
+//! Each phase starts a [`FrontEndServer`] on one backend, a publisher
+//! thread pushing synthetic frames (a small blob moving across a static
+//! background, so delta frames are genuinely sparse), N long-polling
+//! clients on keep-alive connections, and a few steering clients POSTing
+//! parameter updates.  The client side is a *multiplexed* epoll load
+//! generator — one thread drives every poller connection as a small state
+//! machine — so poller counts in the thousands do not need thousands of
+//! OS threads (falling back to thread-per-poller where epoll is absent).
+//!
+//! The phase matrix crosses backend × mode at the base poller count, then
+//! holds `mode=delta` and scales to 1 000 connections on both backends
+//! (and 10 000 on readiness in the full run, raising `RLIMIT_NOFILE`
+//! first).  Every delivered frame is audited on the wire: sequences must
+//! never regress or repeat, and a delta's `base_sequence` must equal the
+//! last frame this client applied — composed delta chains and full-frame
+//! resyncs are counted separately.  The report gives requests/s,
+//! delivery-latency percentiles (receive time minus publish time),
+//! bytes on wire per delivered frame (after the RLE pass), and the hub's
+//! encode count per published frame, which must stay independent of the
+//! poller count.  A final table prices the encode-once cache against
+//! re-encoding per client.
 //!
 //! Usage:
 //! `cargo run --release -p ricsa-bench --bin webfront_load -- [--quick]
 //!  [--pollers N] [--seconds S] [--workers W] [--json PATH]`
 //!
-//! `--quick` runs the CI scale: ≥100 pollers for ~2.5 s per phase,
-//! finishing in a few seconds.  The default is 300 pollers for 8 s per
-//! phase.  The BENCH json goes to `target/webfront_load.json` unless
-//! `--json PATH` overrides it.
+//! `--quick` runs the CI scale: the base phases at ≥100 pollers plus both
+//! 1 000-connection phases, ~2.5 s each.  The default base is 300 pollers
+//! for 8 s per phase plus the 10 000-connection readiness phase.  The
+//! BENCH json goes to `target/webfront_load.json` unless `--json PATH`
+//! overrides it.  The process exits non-zero if the sequence audit finds
+//! a violation.
 
 use criterion::time_per_call;
+use epoll::{Interest, Poller};
 use ricsa_bench::{
     serve_pollers_cached, serve_pollers_encoding, synth_web_frame, ENCODE_CACHE_POLLERS,
 };
 use ricsa_webfront::http::{read_blocking_response, HttpServerConfig};
 use ricsa_webfront::hub::SessionHub;
 use ricsa_webfront::server::{FrontEndConfig, FrontEndServer};
+use ricsa_webfront::Backend;
 use serde::Serialize;
 use std::collections::HashMap;
-use std::io::{BufReader, Write};
-use std::net::TcpStream;
+use std::io::{BufReader, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-/// Everything one phase (full or delta) is configured with.
+/// Everything one phase is configured with.
 #[derive(Clone)]
 struct PhaseConfig {
+    backend: Backend,
     mode: &'static str,
     pollers: usize,
     steerers: usize,
@@ -50,9 +67,39 @@ struct PhaseConfig {
     workers: usize,
 }
 
+/// Wire-level sequence audit, summed over all pollers of a phase.
+#[derive(Debug, Default, Serialize)]
+struct Audit {
+    /// Deliveries whose sequence did not advance (duplicate or
+    /// regression).  Must be zero.
+    duplicates: u64,
+    /// Delta deliveries whose `base_sequence` was not the last frame this
+    /// client applied.  Must be zero — a mismatched delta would corrupt
+    /// the client's retained pixels.
+    delta_base_mismatches: u64,
+    /// Full-mode deliveries that skipped a sequence number.  Must be zero
+    /// in full-mode phases (the hub replays the retained backlog in
+    /// order).
+    full_mode_gaps: u64,
+    /// Full-frame deliveries in delta mode that skipped ahead: the
+    /// by-design resync for clients lagging beyond the composition
+    /// horizon.  Informational.
+    resyncs: u64,
+    /// Delta deliveries that jumped more than one step in a single
+    /// response: composed delta chains at work.  Informational.
+    chained_deliveries: u64,
+}
+
+impl Audit {
+    fn violations(&self) -> u64 {
+        self.duplicates + self.delta_base_mismatches + self.full_mode_gaps
+    }
+}
+
 /// Aggregated results of one phase, serialized into the BENCH json.
 #[derive(Debug, Serialize)]
 struct PhaseStats {
+    backend: String,
     mode: String,
     pollers: usize,
     seconds: f64,
@@ -73,6 +120,13 @@ struct PhaseStats {
     p95_ms: f64,
     p99_ms: f64,
     max_ms: f64,
+    /// Hub encodes (full + delta + composed chains) per published frame;
+    /// flat across poller counts because payloads are encoded once and
+    /// shared.
+    encodes_per_frame: f64,
+    /// Poller connections that failed to open or died mid-phase.
+    disconnects: u64,
+    audit: Audit,
     /// Server-side backpressure snapshot (`/api/stats`) taken at the end
     /// of the phase, while the full poller load is still connected.
     server: Option<ricsa_webfront::http::PoolMetricsSnapshot>,
@@ -92,20 +146,52 @@ struct EncodeTiming {
 #[derive(Debug, Serialize)]
 struct BenchJson {
     quick: bool,
-    pollers: usize,
     workers: usize,
-    full: PhaseStats,
-    delta: PhaseStats,
-    /// bytes-per-delivery(full) / bytes-per-delivery(delta).
+    /// bytes-per-delivery(full) / bytes-per-delivery(delta) at the base
+    /// scale on the readiness backend.
     wire_reduction: f64,
+    pool_delta_p99_at_base_ms: f64,
+    pool_delta_p99_at_1k_ms: f64,
+    readiness_delta_p99_at_base_ms: f64,
+    readiness_delta_p99_at_1k_ms: f64,
+    /// Readiness beats the rotation pool at the 1k scale: its p99 must
+    /// not exceed the pool's at the same connection count.
+    readiness_p99_flat: bool,
+    /// Encodes per published frame at 1k vs the base poller count on the
+    /// readiness backend — staying within 3x means encoding is
+    /// O(publishes), not O(pollers).
+    encode_independent: bool,
+    phases: Vec<PhaseStats>,
     encode_cache: Vec<EncodeTiming>,
 }
 
-/// One response off a blocking stream via the shared client-side reader,
-/// with the body as a string for field scanning.
-fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<(u16, u64, String)> {
-    let (status, wire, body) = read_blocking_response(reader)?;
-    Ok((status, wire, String::from_utf8_lossy(&body).into_owned()))
+/// What one load generator (mux loop or fallback thread) accumulated.
+#[derive(Debug, Default)]
+struct GenResult {
+    polls: u64,
+    frames: u64,
+    delta_frames: u64,
+    wire_bytes: u64,
+    /// Delivery latencies in microseconds (receive minus publish).
+    latencies_us: Vec<u64>,
+    disconnects: u64,
+    audit: Audit,
+}
+
+impl GenResult {
+    fn merge(&mut self, other: GenResult) {
+        self.polls += other.polls;
+        self.frames += other.frames;
+        self.delta_frames += other.delta_frames;
+        self.wire_bytes += other.wire_bytes;
+        self.latencies_us.extend(other.latencies_us);
+        self.disconnects += other.disconnects;
+        self.audit.duplicates += other.audit.duplicates;
+        self.audit.delta_base_mismatches += other.audit.delta_base_mismatches;
+        self.audit.full_mode_gaps += other.audit.full_mode_gaps;
+        self.audit.resyncs += other.audit.resyncs;
+        self.audit.chained_deliveries += other.audit.chained_deliveries;
+    }
 }
 
 /// Pull `"field":<u64>` out of a JSON body without a full parse — the load
@@ -120,49 +206,299 @@ fn scan_u64_field(body: &str, field: &str) -> Option<u64> {
     digits.parse().ok()
 }
 
-struct PollerResult {
-    polls: u64,
-    frames: u64,
-    delta_frames: u64,
-    wire_bytes: u64,
-    /// Delivery latencies in microseconds (receive minus publish).
-    latencies_us: Vec<u64>,
+/// Audit one 200-status poll body against this client's cursor; returns
+/// the delivered sequence (and advances the cursor) when the body carried
+/// a frame.
+fn audit_delivery(
+    body: &str,
+    mode: &'static str,
+    last_delivered: &mut u64,
+    result: &mut GenResult,
+) -> Option<u64> {
+    let seq = scan_u64_field(body, "sequence")?;
+    result.frames += 1;
+    if seq <= *last_delivered {
+        result.audit.duplicates += 1;
+    }
+    if body.contains("\"mode\":\"delta\"") {
+        result.delta_frames += 1;
+        match scan_u64_field(body, "base_sequence") {
+            Some(base) if base == *last_delivered => {
+                if seq > base + 1 {
+                    result.audit.chained_deliveries += 1;
+                }
+            }
+            _ => result.audit.delta_base_mismatches += 1,
+        }
+    } else if seq != *last_delivered + 1 {
+        if mode == "full" {
+            result.audit.full_mode_gaps += 1;
+        } else {
+            result.audit.resyncs += 1;
+        }
+    }
+    *last_delivered = seq;
+    Some(seq)
 }
 
-fn poller_thread(
-    addr: std::net::SocketAddr,
+fn percentile(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx] as f64 / 1e3
+}
+
+fn raw_fd(stream: &TcpStream) -> epoll::RawFd {
+    #[cfg(unix)]
+    {
+        use std::os::fd::AsRawFd;
+        stream.as_raw_fd()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = stream;
+        -1
+    }
+}
+
+/// One poller connection inside the multiplexed generator.
+struct MuxConn {
+    stream: TcpStream,
+    /// Bytes received but not yet parsed into a response.
+    inbuf: Vec<u8>,
+    /// Request bytes not yet accepted by the socket.
+    out: Vec<u8>,
+    since: u64,
+    last_delivered: u64,
+    registered: bool,
+    dead: bool,
+    /// Disconnect already counted and the registration dropped.
+    retired: bool,
+}
+
+impl MuxConn {
+    fn queue_poll(&mut self, mode: &str) {
+        let since = self.since;
+        self.out.extend_from_slice(
+            format!(
+                "GET /api/poll?since={since}&timeout_ms=1000&mode={mode} HTTP/1.1\r\n\
+                 Host: l\r\n\r\n"
+            )
+            .as_bytes(),
+        );
+    }
+
+    fn flush(&mut self) {
+        while !self.out.is_empty() {
+            match self.stream.write(&self.out) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => {
+                    self.out.drain(..n);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    fn read_available(&mut self) {
+        let mut tmp = [0u8; 16384];
+        loop {
+            match self.stream.read(&mut tmp) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => {
+                    self.inbuf.extend_from_slice(&tmp[..n]);
+                    if n < tmp.len() {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Parse one complete HTTP response off the front of `buf`, if present:
+/// `(status, wire bytes consumed, body)`.  The server always frames
+/// responses with `Content-Length`.
+fn take_response(buf: &mut Vec<u8>) -> Option<(u16, u64, String)> {
+    let hdr_end = buf.windows(4).position(|w| w == b"\r\n\r\n")?;
+    let head = std::str::from_utf8(&buf[..hdr_end]).ok()?;
+    let status: u16 = head.split(' ').nth(1)?.parse().ok()?;
+    let mut content_len = 0usize;
+    for line in head.split("\r\n").skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_len = value.trim().parse().ok()?;
+            }
+        }
+    }
+    let total = hdr_end + 4 + content_len;
+    if buf.len() < total {
+        return None;
+    }
+    let body = String::from_utf8_lossy(&buf[hdr_end + 4..total]).into_owned();
+    buf.drain(..total);
+    Some((status, total as u64, body))
+}
+
+/// Drive `count` poller connections through one epoll instance on one
+/// thread: each connection is a tiny state machine (write poll request →
+/// parse the Content-Length-framed response → audit → next request), so
+/// the generator scales to thousands of connections without thousands of
+/// threads.  `ready` fires once every connection is open and armed, so
+/// the caller can start the publisher with the full load attached.
+fn run_mux_generator(
+    addr: SocketAddr,
     mode: &'static str,
+    count: usize,
+    since0: u64,
     stop: Arc<AtomicBool>,
     publish_times: Arc<Mutex<HashMap<u64, Instant>>>,
-) -> PollerResult {
-    let mut result = PollerResult {
-        polls: 0,
-        frames: 0,
-        delta_frames: 0,
-        wire_bytes: 0,
-        latencies_us: Vec::new(),
+    ready: mpsc::Sender<()>,
+) -> GenResult {
+    let mut result = GenResult::default();
+    let Ok(poller) = Poller::new() else {
+        let _ = ready.send(());
+        return result;
     };
+    let mut conns: Vec<MuxConn> = Vec::with_capacity(count);
+    for _ in 0..count {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_nonblocking(true);
+                conns.push(MuxConn {
+                    stream,
+                    inbuf: Vec::new(),
+                    out: Vec::new(),
+                    since: since0,
+                    last_delivered: since0,
+                    registered: false,
+                    dead: false,
+                    retired: false,
+                });
+            }
+            Err(_) => result.disconnects += 1,
+        }
+    }
+    for (key, conn) in conns.iter_mut().enumerate() {
+        conn.queue_poll(mode);
+        conn.flush();
+        arm(&poller, conn, key as u64);
+    }
+    let _ = ready.send(());
+
+    let mut alive = conns.iter().filter(|c| !c.dead).count();
+    let mut events = Vec::new();
+    while !stop.load(Ordering::Relaxed) && alive > 0 {
+        let _ = poller.wait(&mut events, 4096, Some(Duration::from_millis(25)));
+        let now = Instant::now();
+        for event in &events {
+            let Some(conn) = conns.get_mut(event.key as usize) else {
+                continue;
+            };
+            if conn.retired {
+                continue;
+            }
+            if !conn.out.is_empty() {
+                conn.flush();
+            }
+            if event.readable {
+                conn.read_available();
+                while let Some((status, wire, body)) = take_response(&mut conn.inbuf) {
+                    result.polls += 1;
+                    result.wire_bytes += wire;
+                    if status == 200 {
+                        if let Some(seq) =
+                            audit_delivery(&body, mode, &mut conn.last_delivered, &mut result)
+                        {
+                            if let Some(published) = publish_times.lock().get(&seq) {
+                                result
+                                    .latencies_us
+                                    .push(now.duration_since(*published).as_micros() as u64);
+                            }
+                            conn.since = seq;
+                        }
+                    }
+                    conn.queue_poll(mode);
+                }
+                conn.flush();
+            }
+            if conn.dead {
+                let _ = poller.delete(raw_fd(&conn.stream));
+                conn.retired = true;
+                result.disconnects += 1;
+                alive -= 1;
+            } else {
+                arm(&poller, conn, event.key);
+            }
+        }
+    }
+    result
+}
+
+/// (Re-)register a connection with the poller: always readable, writable
+/// only while request bytes are backed up, one-shot so a woken connection
+/// stays quiet until it is re-armed after servicing.
+fn arm(poller: &Poller, conn: &mut MuxConn, key: u64) {
+    let interest = Interest {
+        readable: true,
+        writable: !conn.out.is_empty(),
+        oneshot: true,
+    };
+    let fd = raw_fd(&conn.stream);
+    let armed = if conn.registered {
+        poller.modify(fd, key, interest)
+    } else {
+        poller.add(fd, key, interest)
+    };
+    match armed {
+        Ok(()) => conn.registered = true,
+        Err(_) => conn.dead = true,
+    }
+}
+
+/// Thread-per-poller fallback for platforms without epoll: one blocking
+/// keep-alive connection per thread, same audit as the mux generator.
+fn poller_thread(
+    addr: SocketAddr,
+    mode: &'static str,
+    since0: u64,
+    stop: Arc<AtomicBool>,
+    publish_times: Arc<Mutex<HashMap<u64, Instant>>>,
+) -> GenResult {
+    let mut result = GenResult::default();
     let Ok(stream) = TcpStream::connect(addr) else {
+        result.disconnects += 1;
         return result;
     };
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else {
+        result.disconnects += 1;
         return result;
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
-
-    // Start from the current head so backlog frames do not pollute the
-    // delivery-latency measurement.
-    let mut since = (|| {
-        writer
-            .write_all(b"GET /api/state HTTP/1.1\r\nHost: l\r\n\r\n")
-            .ok()?;
-        let (_, _, body) = read_response(&mut reader).ok()?;
-        scan_u64_field(&body, "latest_sequence")
-    })()
-    .unwrap_or(0);
+    let mut since = since0;
+    let mut last_delivered = since0;
 
     while !stop.load(Ordering::Relaxed) {
         let request = format!(
@@ -171,7 +507,7 @@ fn poller_thread(
         if writer.write_all(request.as_bytes()).is_err() {
             break;
         }
-        let Ok((status, wire, body)) = read_response(&mut reader) else {
+        let Ok((status, wire, body)) = read_blocking_response(&mut reader) else {
             break;
         };
         let received = Instant::now();
@@ -180,11 +516,8 @@ fn poller_thread(
         if status != 200 {
             continue;
         }
-        if let Some(seq) = scan_u64_field(&body, "sequence") {
-            result.frames += 1;
-            if body.contains("\"mode\":\"delta\"") {
-                result.delta_frames += 1;
-            }
+        let body = String::from_utf8_lossy(&body);
+        if let Some(seq) = audit_delivery(&body, mode, &mut last_delivered, &mut result) {
             if let Some(published) = publish_times.lock().get(&seq) {
                 result
                     .latencies_us
@@ -196,7 +529,7 @@ fn poller_thread(
     result
 }
 
-fn steerer_thread(addr: std::net::SocketAddr, stop: Arc<AtomicBool>) -> u64 {
+fn steerer_thread(addr: SocketAddr, stop: Arc<AtomicBool>) -> u64 {
     let mut sent = 0;
     let Ok(stream) = TcpStream::connect(addr) else {
         return 0;
@@ -217,7 +550,7 @@ fn steerer_thread(addr: std::net::SocketAddr, stop: Arc<AtomicBool>) -> u64 {
         if writer.write_all(request.as_bytes()).is_err() {
             break;
         }
-        if read_response(&mut reader).is_err() {
+        if read_blocking_response(&mut reader).is_err() {
             break;
         }
         sent += 1;
@@ -226,12 +559,11 @@ fn steerer_thread(addr: std::net::SocketAddr, stop: Arc<AtomicBool>) -> u64 {
     sent
 }
 
-fn percentile(sorted_us: &[u64], p: f64) -> f64 {
-    if sorted_us.is_empty() {
-        return f64::NAN;
+fn backend_name(backend: Backend) -> &'static str {
+    match backend {
+        Backend::Pool => "pool",
+        Backend::Readiness => "readiness",
     }
-    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
-    sorted_us[idx] as f64 / 1e3
 }
 
 fn run_phase(config: &PhaseConfig) -> PhaseStats {
@@ -240,10 +572,11 @@ fn run_phase(config: &PhaseConfig) -> PhaseStats {
         FrontEndConfig {
             http: HttpServerConfig {
                 workers: config.workers,
-                max_connections: config.pollers + config.steerers + 16,
+                max_connections: config.pollers + config.steerers + 64,
+                backend: config.backend,
                 ..HttpServerConfig::default()
             },
-            hub_capacity: 32,
+            hub_capacity: 64,
             max_clients: config.pollers + 16,
         },
     )
@@ -252,7 +585,48 @@ fn run_phase(config: &PhaseConfig) -> PhaseStats {
     let hub = server.hub();
     let stop = Arc::new(AtomicBool::new(false));
     let publish_times: Arc<Mutex<HashMap<u64, Instant>>> = Arc::default();
+    // Every poller's cursor starts at the current head, so backlog frames
+    // never pollute the delivery-latency measurement.
+    let since0 = hub.latest_sequence();
 
+    let (ready_tx, ready_rx) = mpsc::channel();
+    let generator = {
+        let stop = stop.clone();
+        let publish_times = publish_times.clone();
+        let (mode, count) = (config.mode, config.pollers);
+        std::thread::spawn(move || {
+            if epoll::is_supported() {
+                run_mux_generator(addr, mode, count, since0, stop, publish_times, ready_tx)
+            } else {
+                let _ = ready_tx.send(());
+                let threads: Vec<_> = (0..count)
+                    .map(|_| {
+                        let stop = stop.clone();
+                        let publish_times = publish_times.clone();
+                        std::thread::spawn(move || {
+                            poller_thread(addr, mode, since0, stop, publish_times)
+                        })
+                    })
+                    .collect();
+                let mut merged = GenResult::default();
+                for handle in threads {
+                    merged.merge(handle.join().unwrap());
+                }
+                merged
+            }
+        })
+    };
+    let steerers: Vec<_> = (0..config.steerers)
+        .map(|_| {
+            let stop = stop.clone();
+            std::thread::spawn(move || steerer_thread(addr, stop))
+        })
+        .collect();
+
+    // Publish only once the full poller load is connected and armed, so
+    // every phase measures the same steady state regardless of how long
+    // the connection ramp took.
+    let _ = ready_rx.recv_timeout(Duration::from_secs(120));
     let publisher = {
         let hub = hub.clone();
         let stop = stop.clone();
@@ -278,59 +652,34 @@ fn run_phase(config: &PhaseConfig) -> PhaseStats {
         })
     };
 
-    let pollers: Vec<_> = (0..config.pollers)
-        .map(|_| {
-            let stop = stop.clone();
-            let publish_times = publish_times.clone();
-            let mode = config.mode;
-            std::thread::spawn(move || poller_thread(addr, mode, stop, publish_times))
-        })
-        .collect();
-    let steerers: Vec<_> = (0..config.steerers)
-        .map(|_| {
-            let stop = stop.clone();
-            std::thread::spawn(move || steerer_thread(addr, stop))
-        })
-        .collect();
-
     std::thread::sleep(Duration::from_secs_f64(config.seconds));
     // Sample the server's own backpressure metrics while the load is
-    // still attached — queue depth and rotation latency at full load are
-    // the overload early-warning signals (ROADMAP item).
+    // still attached — queue depth, parked connections, and rotation
+    // latency at full load are the overload early-warning signals.
     let server_stats = fetch_server_stats(addr);
     stop.store(true, Ordering::Relaxed);
     let frames_published = publisher.join().unwrap();
-
-    let mut polls = 0;
-    let mut frames = 0;
-    let mut delta_frames = 0;
-    let mut wire_bytes = 0;
-    let mut latencies: Vec<u64> = Vec::new();
-    for handle in pollers {
-        let r = handle.join().unwrap();
-        polls += r.polls;
-        frames += r.frames;
-        delta_frames += r.delta_frames;
-        wire_bytes += r.wire_bytes;
-        latencies.extend(r.latencies_us);
-    }
+    let result = generator.join().unwrap();
     let steer_requests: u64 = steerers.into_iter().map(|h| h.join().unwrap()).sum();
+    let encode_count = hub.encode_count();
     server.shutdown();
 
+    let mut latencies = result.latencies_us;
     latencies.sort_unstable();
     PhaseStats {
+        backend: backend_name(config.backend).to_string(),
         mode: config.mode.to_string(),
         pollers: config.pollers,
         seconds: config.seconds,
-        poll_requests: polls,
+        poll_requests: result.polls,
         steer_requests,
-        requests_per_sec: (polls + steer_requests) as f64 / config.seconds,
+        requests_per_sec: (result.polls + steer_requests) as f64 / config.seconds,
         frames_published,
-        frames_delivered: frames,
-        delta_deliveries: delta_frames,
-        poll_bytes: wire_bytes,
-        bytes_per_delivery: if frames > 0 {
-            wire_bytes as f64 / frames as f64
+        frames_delivered: result.frames,
+        delta_deliveries: result.delta_frames,
+        poll_bytes: result.wire_bytes,
+        bytes_per_delivery: if result.frames > 0 {
+            result.wire_bytes as f64 / result.frames as f64
         } else {
             f64::NAN
         },
@@ -338,15 +687,16 @@ fn run_phase(config: &PhaseConfig) -> PhaseStats {
         p95_ms: percentile(&latencies, 0.95),
         p99_ms: percentile(&latencies, 0.99),
         max_ms: latencies.last().map_or(f64::NAN, |&l| l as f64 / 1e3),
+        encodes_per_frame: encode_count as f64 / frames_published.max(1) as f64,
+        disconnects: result.disconnects,
+        audit: result.audit,
         server: server_stats,
     }
 }
 
 /// One `/api/stats` fetch over a fresh connection, parsed into the typed
 /// snapshot (extra hub fields in the body are ignored by deserialization).
-fn fetch_server_stats(
-    addr: std::net::SocketAddr,
-) -> Option<ricsa_webfront::http::PoolMetricsSnapshot> {
+fn fetch_server_stats(addr: SocketAddr) -> Option<ricsa_webfront::http::PoolMetricsSnapshot> {
     let stream = TcpStream::connect(addr).ok()?;
     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
     let mut reader = BufReader::new(stream.try_clone().ok()?);
@@ -389,7 +739,8 @@ fn encode_cache_timings(width: usize, height: usize) -> Vec<EncodeTiming> {
 
 fn print_phase(stats: &PhaseStats) {
     println!(
-        "{:>6}{:>9}{:>10}{:>11}{:>11}{:>13}{:>11.0}{:>10.2}{:>10.2}{:>10.2}",
+        "{:>10}{:>6}{:>8}{:>10}{:>10}{:>9}{:>9}{:>9.0}{:>9.2}{:>9.2}{:>9.2}",
+        stats.backend,
         stats.mode,
         stats.pollers,
         stats.poll_requests,
@@ -401,18 +752,49 @@ fn print_phase(stats: &PhaseStats) {
         stats.p95_ms,
         stats.p99_ms,
     );
+    println!(
+        "       audit: {} violations ({} dup, {} base-mismatch, {} full-gap), \
+         {} resyncs, {} chained, {} disconnects, {:.2} encodes/frame",
+        stats.audit.violations(),
+        stats.audit.duplicates,
+        stats.audit.delta_base_mismatches,
+        stats.audit.full_mode_gaps,
+        stats.audit.resyncs,
+        stats.audit.chained_deliveries,
+        stats.disconnects,
+        stats.encodes_per_frame,
+    );
     if let Some(s) = &stats.server {
         println!(
-            "       server@load: {} conns, run-queue {}, {} parked long-polls, \
-             rotation mean {:.0} µs (max {} µs), visit mean {:.0} µs (max {} µs)",
+            "       server@load: {} conns, run-queue {}, {} pending long-polls, \
+             {} parked, rotation mean {:.0} µs (max {} µs), visit mean {:.0} µs (max {} µs)",
             s.active_connections,
             s.queue_depth,
             s.pending_responses,
+            s.parked_connections,
             s.mean_rotation_us,
             s.max_rotation_us,
             s.mean_visit_us,
             s.max_visit_us,
         );
+    }
+}
+
+/// `phases` lookup by (backend, mode, pollers); panics if the phase was
+/// not run (programming error in the matrix below).
+fn find<'a>(phases: &'a [PhaseStats], backend: &str, mode: &str, pollers: usize) -> &'a PhaseStats {
+    phases
+        .iter()
+        .find(|p| p.backend == backend && p.mode == mode && p.pollers == pollers)
+        .expect("phase present in the matrix")
+}
+
+/// NaN-safe "no deliveries means unboundedly late" for comparisons.
+fn or_inf(v: f64) -> f64 {
+    if v.is_nan() {
+        f64::INFINITY
+    } else {
+        v
     }
 }
 
@@ -424,7 +806,7 @@ fn main() {
             .position(|a| a == name)
             .and_then(|i| args.get(i + 1).cloned())
     };
-    let pollers: usize = flag_value("--pollers")
+    let base_pollers: usize = flag_value("--pollers")
         .and_then(|s| s.parse().ok())
         .unwrap_or(if quick { 110 } else { 300 });
     let seconds: f64 = flag_value("--seconds")
@@ -435,10 +817,26 @@ fn main() {
         .unwrap_or(8);
     let json_path = flag_value("--json").unwrap_or_else(|| "target/webfront_load.json".into());
     let (width, height) = if quick { (128, 128) } else { (192, 192) };
+    let kilo = 1000usize;
+    let ten_k = 10_000usize;
+    let run_ten_k = !quick && epoll::is_supported();
+
+    // Client and server sockets live in this one process: two descriptors
+    // per poller plus headroom.
+    let fd_target = 2 * (if run_ten_k { ten_k } else { kilo }).max(base_pollers) + 4096;
+    match epoll::raise_nofile_limit(fd_target as u64) {
+        Ok(limit) => {
+            if (limit as usize) < fd_target {
+                eprintln!("warning: NOFILE limit {limit} below the {fd_target} target");
+            }
+        }
+        Err(e) => eprintln!("warning: could not raise NOFILE limit: {e}"),
+    }
 
     let base = PhaseConfig {
+        backend: Backend::Pool,
         mode: "full",
-        pollers,
+        pollers: base_pollers,
         steerers: 4,
         seconds,
         publish_interval: Duration::from_millis(30),
@@ -446,37 +844,109 @@ fn main() {
         height,
         workers,
     };
-    eprintln!(
-        "webfront load: {pollers} pollers + {} steerers, {workers} workers, \
-         {width}x{height} frames every {:?}, {seconds} s per phase...",
-        base.steerers, base.publish_interval
-    );
+    // The matrix: backend × mode at the base scale, then delta mode scaled
+    // to 1k connections on both backends (and 10k on readiness in the full
+    // run).  Publishing slows as connections grow so a phase measures
+    // steady-state delivery, not an ever-deepening backlog.
+    let mut matrix = vec![
+        base.clone(),
+        PhaseConfig {
+            mode: "delta",
+            ..base.clone()
+        },
+        PhaseConfig {
+            backend: Backend::Readiness,
+            ..base.clone()
+        },
+        PhaseConfig {
+            backend: Backend::Readiness,
+            mode: "delta",
+            ..base.clone()
+        },
+        PhaseConfig {
+            mode: "delta",
+            pollers: kilo,
+            publish_interval: Duration::from_millis(150),
+            ..base.clone()
+        },
+        PhaseConfig {
+            backend: Backend::Readiness,
+            mode: "delta",
+            pollers: kilo,
+            publish_interval: Duration::from_millis(150),
+            ..base.clone()
+        },
+    ];
+    if run_ten_k {
+        matrix.push(PhaseConfig {
+            backend: Backend::Readiness,
+            mode: "delta",
+            pollers: ten_k,
+            publish_interval: Duration::from_millis(500),
+            ..base.clone()
+        });
+    }
 
+    eprintln!(
+        "webfront load: backends {{pool, readiness}}, base {base_pollers} pollers \
+         + {} steerers, {workers} workers, {width}x{height} frames, {seconds} s per phase...",
+        base.steerers
+    );
     println!(
-        "{:>6}{:>9}{:>10}{:>11}{:>11}{:>13}{:>11}{:>10}{:>10}{:>10}",
+        "{:>10}{:>6}{:>8}{:>10}{:>10}{:>9}{:>9}{:>9}{:>9}{:>9}{:>9}",
+        "backend",
         "mode",
         "pollers",
         "polls",
         "req/s",
         "frames",
-        "delta-frames",
+        "delta",
         "B/frame",
         "p50 ms",
         "p95 ms",
         "p99 ms"
     );
-    let full = run_phase(&base);
-    print_phase(&full);
-    let delta = run_phase(&PhaseConfig {
-        mode: "delta",
-        ..base.clone()
-    });
-    print_phase(&delta);
+    let mut phases = Vec::new();
+    for config in &matrix {
+        let stats = run_phase(config);
+        print_phase(&stats);
+        phases.push(stats);
+    }
 
-    let wire_reduction = full.bytes_per_delivery / delta.bytes_per_delivery;
+    let full_base = find(&phases, "readiness", "full", base_pollers);
+    let delta_base = find(&phases, "readiness", "delta", base_pollers);
+    let wire_reduction = full_base.bytes_per_delivery / delta_base.bytes_per_delivery;
     println!(
-        "bytes on wire per delivered frame: full {:.0} vs delta {:.0}  ({wire_reduction:.2}x reduction)",
-        full.bytes_per_delivery, delta.bytes_per_delivery
+        "bytes on wire per delivered frame: full {:.0} vs delta {:.0}  \
+         ({wire_reduction:.2}x reduction)",
+        full_base.bytes_per_delivery, delta_base.bytes_per_delivery
+    );
+
+    let pool_base = find(&phases, "pool", "delta", base_pollers);
+    let pool_1k = find(&phases, "pool", "delta", kilo);
+    let ready_1k = find(&phases, "readiness", "delta", kilo);
+    let readiness_p99_flat = or_inf(ready_1k.p99_ms) <= or_inf(pool_1k.p99_ms);
+    let encode_independent =
+        ready_1k.encodes_per_frame <= 3.0 * delta_base.encodes_per_frame.max(1.0);
+    println!(
+        "delta p99 @{base_pollers}: pool {:.2} ms vs readiness {:.2} ms; \
+         @{kilo}: pool {:.2} ms vs readiness {:.2} ms ({})",
+        pool_base.p99_ms,
+        delta_base.p99_ms,
+        pool_1k.p99_ms,
+        ready_1k.p99_ms,
+        if readiness_p99_flat {
+            "readiness stays flat"
+        } else {
+            "readiness NOT flat"
+        }
+    );
+    println!(
+        "encodes per published frame: {:.2} @{base_pollers} pollers vs {:.2} @{kilo} \
+         ({}dependent of poller count)",
+        delta_base.encodes_per_frame,
+        ready_1k.encodes_per_frame,
+        if encode_independent { "in" } else { "NOT in" }
     );
 
     eprintln!("pricing the encode-once cache against per-client encoding...");
@@ -495,13 +965,18 @@ fn main() {
         );
     }
 
+    let total_violations: u64 = phases.iter().map(|p| p.audit.violations()).sum();
     let bench = BenchJson {
         quick,
-        pollers,
         workers,
-        full,
-        delta,
         wire_reduction,
+        pool_delta_p99_at_base_ms: pool_base.p99_ms,
+        pool_delta_p99_at_1k_ms: pool_1k.p99_ms,
+        readiness_delta_p99_at_base_ms: delta_base.p99_ms,
+        readiness_delta_p99_at_1k_ms: ready_1k.p99_ms,
+        readiness_p99_flat,
+        encode_independent,
+        phases,
         encode_cache,
     };
     match serde_json::to_string(&bench) {
@@ -516,4 +991,9 @@ fn main() {
         }
         Err(e) => eprintln!("could not serialize BENCH json: {e}"),
     }
+    if total_violations > 0 {
+        eprintln!("sequence audit FAILED: {total_violations} violations (see per-phase lines)");
+        std::process::exit(1);
+    }
+    eprintln!("sequence audit clean: no duplicates, no base mismatches, no full-mode gaps");
 }

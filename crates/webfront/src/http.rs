@@ -25,6 +25,7 @@
 //! the CPU burned on idle connections (each worker naps between
 //! unproductive visits instead of spinning).
 
+use crate::readiness::{Backend, Reactor, Waker};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
@@ -460,6 +461,11 @@ pub struct HttpServerConfig {
     /// Requests served on one connection before the server closes it
     /// (`0` = unlimited).  A rotation guard against resource pinning.
     pub max_requests_per_connection: u64,
+    /// How unproductive connections wait: rotated through the pool
+    /// ([`Backend::Pool`], the portable default) or parked in the kernel
+    /// until ready ([`Backend::Readiness`]; falls back to the pool at
+    /// runtime where epoll is unavailable).
+    pub backend: Backend,
 }
 
 impl Default for HttpServerConfig {
@@ -469,6 +475,7 @@ impl Default for HttpServerConfig {
             max_connections: 1024,
             keep_alive: Duration::from_secs(30),
             max_requests_per_connection: 0,
+            backend: Backend::Pool,
         }
     }
 }
@@ -492,9 +499,9 @@ const MAX_IN_BUFFERED: usize = MAX_BODY_BYTES + MAX_HEADER_BYTES + (64 << 10);
 const OUT_COMPACT_THRESHOLD: usize = 64 << 10;
 
 /// One live connection owned by the run queue (or, transiently, by the
-/// worker visiting it).
-struct Conn {
-    stream: TcpStream,
+/// worker visiting it, or parked in the readiness reactor).
+pub(crate) struct Conn {
+    pub(crate) stream: TcpStream,
     /// Bytes read but not yet consumed by a complete request.
     buf: Vec<u8>,
     /// Response bytes queued but not yet accepted by the (non-blocking)
@@ -507,19 +514,19 @@ struct Conn {
     close_after_flush: bool,
     /// A deferred response being polled; while present, no further
     /// pipelined request is dispatched (responses stay in order).
-    pending: Option<PendingResponse>,
+    pub(crate) pending: Option<PendingResponse>,
     /// Keep-alive decision captured from the request that went pending.
     pending_keep_alive: bool,
     /// The peer has closed its write half (no more requests will arrive;
     /// responses may still be deliverable — HTTP half-close is legal).
-    saw_eof: bool,
+    pub(crate) saw_eof: bool,
     /// Requests served on this connection.
     served: u64,
     /// Last time bytes arrived or response bytes were flushed.
-    last_activity: Instant,
+    pub(crate) last_activity: Instant,
     /// Earliest next visit worth making (idle connections rotate at
     /// [`POLL_INTERVAL`]).
-    next_check: Instant,
+    pub(crate) next_check: Instant,
 }
 
 impl Conn {
@@ -536,7 +543,7 @@ impl Conn {
         }
     }
 
-    fn out_is_empty(&self) -> bool {
+    pub(crate) fn out_is_empty(&self) -> bool {
         self.out_pos == self.out.len()
     }
 }
@@ -583,6 +590,9 @@ pub struct PoolMetrics {
     queue_depth: AtomicUsize,
     /// Deferred responses (long-polls) currently parked (gauge).
     pending_responses: AtomicUsize,
+    /// Connections parked in the readiness reactor (gauge; zero on the
+    /// rotation-pool backend).
+    parked: AtomicUsize,
     /// Requests served since start.
     served_total: AtomicU64,
     /// Scheduling visits performed.
@@ -608,6 +618,9 @@ pub struct PoolMetricsSnapshot {
     pub queue_depth: usize,
     /// Long-polls currently parked as deferred responses.
     pub pending_responses: usize,
+    /// Connections parked in the readiness reactor (zero on the
+    /// rotation-pool backend).
+    pub parked_connections: usize,
     /// Requests served since start.
     pub requests_served: u64,
     /// Scheduling visits performed.
@@ -633,6 +646,7 @@ impl PoolMetrics {
             active_connections: self.active.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             pending_responses: self.pending_responses.load(Ordering::Relaxed),
+            parked_connections: self.parked.load(Ordering::Relaxed),
             requests_served: self.served_total.load(Ordering::Relaxed),
             visits,
             mean_visit_us: if visits == 0 {
@@ -649,12 +663,17 @@ impl PoolMetrics {
             max_rotation_us: self.rotation_us_max.load(Ordering::Relaxed),
         }
     }
+
+    /// Update the parked-connections gauge (readiness reactor only).
+    pub(crate) fn set_parked(&self, parked: usize) {
+        self.parked.store(parked, Ordering::Relaxed);
+    }
 }
 
-struct Shared {
+pub(crate) struct Shared {
     queue: Mutex<VecDeque<Conn>>,
     cvar: Condvar,
-    stop: AtomicBool,
+    pub(crate) stop: AtomicBool,
     metrics: Arc<PoolMetrics>,
 }
 
@@ -667,6 +686,32 @@ impl Shared {
             .store(queue.len(), Ordering::Relaxed);
         drop(queue);
         self.cvar.notify_one();
+    }
+
+    /// Requeue a batch of connections the reactor woke together (one lock
+    /// acquisition, one broadcast — a publish wakes thousands of parked
+    /// long-polls at once).
+    pub(crate) fn push_batch(&self, conns: Vec<Conn>) {
+        if conns.is_empty() {
+            return;
+        }
+        let single = conns.len() == 1;
+        let mut queue = self.queue.lock();
+        queue.extend(conns);
+        self.metrics
+            .queue_depth
+            .store(queue.len(), Ordering::Relaxed);
+        drop(queue);
+        if single {
+            self.cvar.notify_one();
+        } else {
+            self.cvar.notify_all();
+        }
+    }
+
+    /// Pop without waiting (shutdown drain).
+    fn try_pop(&self) -> Option<Conn> {
+        self.queue.lock().pop_front()
     }
 
     /// Pop the next connection, blocking until one is queued or stop is
@@ -693,6 +738,9 @@ pub struct HttpServer {
     addr: SocketAddr,
     shared: Arc<Shared>,
     threads: Vec<JoinHandle<()>>,
+    /// Present iff the readiness backend is active (requested *and*
+    /// supported); `None` means the rotation pool is doing the waiting.
+    reactor: Option<Arc<Reactor>>,
 }
 
 impl HttpServer {
@@ -740,7 +788,20 @@ impl HttpServer {
             metrics,
         });
         let handler: Arc<Handler> = Arc::new(handler);
-        let mut threads = Vec::with_capacity(config.workers + 1);
+        let mut threads = Vec::with_capacity(config.workers + 2);
+
+        // The readiness backend degrades to the pool at runtime (not
+        // compile time) when epoll is unavailable, so the same binary
+        // works everywhere.
+        let reactor = match config.backend {
+            Backend::Pool => None,
+            Backend::Readiness => Reactor::new(config.keep_alive, shared.metrics.clone()).ok(),
+        };
+        if let Some(reactor) = &reactor {
+            let reactor = reactor.clone();
+            let shared = shared.clone();
+            threads.push(std::thread::spawn(move || reactor.run(&shared)));
+        }
 
         let accept_shared = shared.clone();
         let max_connections = config.max_connections.max(1);
@@ -751,14 +812,16 @@ impl HttpServer {
             let shared = shared.clone();
             let handler = handler.clone();
             let config = config.clone();
+            let reactor = reactor.clone();
             threads.push(std::thread::spawn(move || {
-                worker_loop(shared, handler, config)
+                worker_loop(shared, handler, config, reactor)
             }));
         }
         Ok(HttpServer {
             addr: local,
             shared,
             threads,
+            reactor,
         })
     }
 
@@ -782,6 +845,14 @@ impl HttpServer {
         self.shared.metrics.clone()
     }
 
+    /// The publish doorbell, when the readiness backend is active: ring it
+    /// whenever new data could resolve parked long-polls (the hub rings it
+    /// on every frame publish).  `None` on the rotation pool, whose 2 ms
+    /// revisits need no doorbell.
+    pub fn waker(&self) -> Option<Waker> {
+        self.reactor.as_ref().map(|r| r.waker())
+    }
+
     /// Gracefully stop the server: no new connections are accepted, workers
     /// flush any response that is already computable, every connection is
     /// closed, and all threads are joined.
@@ -791,9 +862,26 @@ impl HttpServer {
 
     fn stop_and_join(&mut self) {
         self.shared.stop.store(true, Ordering::Relaxed);
+        // Wake the reactor out of epoll_wait so it hands its parked
+        // connections back for draining before it exits.
+        if let Some(reactor) = &self.reactor {
+            reactor.waker().ring();
+        }
         self.shared.cvar.notify_all();
         for handle in self.threads.drain(..) {
             let _ = handle.join();
+        }
+        // Connections the reactor requeued after the last worker already
+        // exited (stop + momentarily-empty queue) are drained here so a
+        // computable response still reaches the wire.
+        while let Some(mut conn) = self.shared.try_pop() {
+            if let Some(mut pending) = conn.pending.take() {
+                if let Some(resp) = pending() {
+                    conn.queue_response(&resp, false);
+                }
+            }
+            let _ = try_flush(&mut conn);
+            self.shared.metrics.active.fetch_sub(1, Ordering::Relaxed);
         }
     }
 }
@@ -858,7 +946,12 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, max_connections: usiz
     }
 }
 
-fn worker_loop(shared: Arc<Shared>, handler: Arc<Handler>, config: HttpServerConfig) {
+fn worker_loop(
+    shared: Arc<Shared>,
+    handler: Arc<Handler>,
+    config: HttpServerConfig,
+    reactor: Option<Arc<Reactor>>,
+) {
     // Not-yet-due connections skipped since the last productive visit (or
     // nap).  Napping only after a full rotation's worth of skips keeps the
     // wake-up latency at ~POLL_INTERVAL regardless of connection count —
@@ -911,8 +1004,14 @@ fn worker_loop(shared: Arc<Shared>, handler: Arc<Handler>, config: HttpServerCon
         // pool actually delivers, which degrades before the 503 limit.
         let rotation_us = now.saturating_duration_since(conn.next_check).as_micros() as u64;
         let had_pending = conn.pending.is_some();
+        // Snapshot the publish generation *before* the visit: if the hub
+        // publishes between the handler's check and the park below,
+        // try_park sees a newer generation and refuses (see the
+        // readiness module docs for the full race argument).
+        let gen_at_visit = reactor.as_ref().map_or(0, |r| r.publish_gen());
         let visit_started = Instant::now();
-        let outcome = service(conn, handler.as_ref(), &config, &shared);
+        let mut progressed = false;
+        let outcome = service(conn, handler.as_ref(), &config, &shared, &mut progressed);
         let visit_us = visit_started.elapsed().as_micros() as u64;
         let metrics = &shared.metrics;
         metrics.visits.fetch_add(1, Ordering::Relaxed);
@@ -937,7 +1036,23 @@ fn worker_loop(shared: Arc<Shared>, handler: Arc<Handler>, config: HttpServerCon
             _ => {}
         }
         match outcome {
-            Some(conn) => shared.push(conn),
+            Some(conn) => {
+                // Readiness backend: a visit that made no progress means
+                // this connection is waiting on its socket, on a publish,
+                // or on a timeout — all of which the reactor can watch
+                // without the pool revisiting the connection every 2 ms.
+                match &reactor {
+                    Some(reactor) if !progressed => {
+                        if let Err(mut refused) = reactor.try_park(conn, gen_at_visit) {
+                            // A publish raced the visit (or registration
+                            // failed): re-check immediately.
+                            refused.next_check = Instant::now();
+                            shared.push(refused);
+                        }
+                    }
+                    _ => shared.push(conn),
+                }
+            }
             None => {
                 metrics.active.fetch_sub(1, Ordering::Relaxed);
             }
@@ -951,11 +1066,15 @@ fn worker_loop(shared: Arc<Shared>, handler: Arc<Handler>, config: HttpServerCon
 /// lives on.  Never blocks — reads, writes and long-polls are all
 /// deferred to later visits when the socket (or the data) is not ready.
 /// Returns the connection to requeue, or `None` when it is closed.
+/// `made_progress` reports whether the visit accomplished anything (bytes
+/// moved or a request dispatched) — the readiness backend parks
+/// connections whose visit reports `false`.
 fn service(
     mut conn: Conn,
     handler: &Handler,
     config: &HttpServerConfig,
     shared: &Shared,
+    made_progress: &mut bool,
 ) -> Option<Conn> {
     let mut progressed = false;
 
@@ -1093,6 +1212,7 @@ fn service(
         return None;
     }
 
+    *made_progress = progressed;
     conn.next_check = if progressed {
         Instant::now()
     } else {
@@ -1504,6 +1624,171 @@ mod tests {
         let _idle = TcpStream::connect(addr).unwrap();
         std::thread::sleep(Duration::from_millis(30));
         server.shutdown(); // joins; the test passes iff this returns
+    }
+
+    /// Config for the readiness backend; tests using it return early on
+    /// platforms without epoll (where the server would silently fall back
+    /// to the pool and the assertions below about parking would not hold).
+    fn readiness_config() -> HttpServerConfig {
+        HttpServerConfig {
+            backend: Backend::Readiness,
+            ..HttpServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn readiness_backend_serves_keep_alive_and_pipelining() {
+        if !epoll::is_supported() {
+            return;
+        }
+        let server = HttpServer::start_with("127.0.0.1:0", readiness_config(), |req| {
+            HttpResponse::ok("text/plain", req.path).into()
+        })
+        .unwrap();
+        assert!(server.waker().is_some(), "readiness backend must be active");
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        // Sequential keep-alive requests with idle gaps (the connection
+        // parks between them and must wake on arriving bytes)...
+        for i in 0..3 {
+            std::thread::sleep(Duration::from_millis(30));
+            writer
+                .write_all(format!("GET /seq{i} HTTP/1.1\r\nHost: l\r\n\r\n").as_bytes())
+                .unwrap();
+            let (status, body) = read_response(&mut reader);
+            assert_eq!(status, 200);
+            assert_eq!(body, format!("/seq{i}").as_bytes());
+        }
+        // ... then a pipelined burst, answered in order.
+        writer
+            .write_all(
+                b"GET /one HTTP/1.1\r\n\r\nGET /two HTTP/1.1\r\n\r\nGET /three HTTP/1.1\r\n\r\n",
+            )
+            .unwrap();
+        for expect in ["/one", "/two", "/three"] {
+            let (status, body) = read_response(&mut reader);
+            assert_eq!(status, 200);
+            assert_eq!(body, expect.as_bytes());
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn readiness_parks_long_polls_and_wakes_them_on_the_doorbell() {
+        if !epoll::is_supported() {
+            return;
+        }
+        // The scheduling claim under test: a parked long-poll's closure is
+        // re-polled on the reactor's PENDING_RECHECK cadence (~20/s), not
+        // the pool's 2 ms rotation (~500/s).
+        let closure_polls = Arc::new(AtomicU64::new(0));
+        let released = Arc::new(AtomicBool::new(false));
+        let (polls2, released2) = (closure_polls.clone(), released.clone());
+        let server = HttpServer::start_with("127.0.0.1:0", readiness_config(), move |_| {
+            let (polls, released) = (polls2.clone(), released2.clone());
+            Outcome::Pending(Box::new(move || {
+                polls.fetch_add(1, Ordering::Relaxed);
+                released
+                    .load(Ordering::Relaxed)
+                    .then(|| HttpResponse::ok("text/plain", "released"))
+            }))
+        })
+        .unwrap();
+        let waker = server.waker().expect("readiness backend active");
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writer.write_all(b"GET /wait HTTP/1.1\r\n\r\n").unwrap();
+
+        // While the long-poll waits, the connection must show up in the
+        // parked gauge ...
+        let metrics = server.metrics();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while metrics.snapshot().parked_connections == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            metrics.snapshot().parked_connections >= 1,
+            "long-poll must park in the reactor"
+        );
+        // ... and accumulate closure polls at the parked cadence.  300 ms
+        // is ~6 rechecks parked vs ~150 pool rotations; 40 leaves slack
+        // for scheduler noise in either direction.
+        std::thread::sleep(Duration::from_millis(300));
+        let polled = closure_polls.load(Ordering::Relaxed);
+        assert!(
+            polled < 40,
+            "parked long-poll was re-polled {polled} times in 300 ms — \
+             that is rotation-pool cadence, not parking"
+        );
+
+        // The doorbell resolves it.
+        released.store(true, Ordering::Relaxed);
+        waker.ring();
+        let (status, body) = read_response(&mut reader);
+        assert_eq!(status, 200);
+        assert_eq!(body, b"released");
+        server.shutdown();
+    }
+
+    #[test]
+    fn readiness_parked_idle_connections_time_out() {
+        if !epoll::is_supported() {
+            return;
+        }
+        let config = HttpServerConfig {
+            keep_alive: Duration::from_millis(100),
+            ..readiness_config()
+        };
+        let server = HttpServer::start_with("127.0.0.1:0", config, |_| {
+            HttpResponse::ok("text/plain", "x").into()
+        })
+        .unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        // Never send anything: the parked connection must still be closed
+        // at the keep-alive deadline (slowloris guard survives parking).
+        let mut reader = BufReader::new(stream);
+        let mut rest = String::new();
+        reader.read_to_string(&mut rest).unwrap(); // EOF = server closed
+        assert!(rest.is_empty());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.active_connections() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(server.active_connections(), 0, "slot must be freed");
+        server.shutdown();
+    }
+
+    #[test]
+    fn readiness_graceful_shutdown_with_parked_connections() {
+        if !epoll::is_supported() {
+            return;
+        }
+        let server = HttpServer::start_with("127.0.0.1:0", readiness_config(), |_| {
+            let deadline = Instant::now() + Duration::from_secs(30);
+            Outcome::Pending(Box::new(move || {
+                (Instant::now() >= deadline).then(|| HttpResponse::ok("text/plain", "t"))
+            }))
+        })
+        .unwrap();
+        let addr = server.addr();
+        let _idle = TcpStream::connect(addr).unwrap();
+        let mut polling = TcpStream::connect(addr).unwrap();
+        polling.write_all(b"GET /wait HTTP/1.1\r\n\r\n").unwrap();
+        // Let both connections reach the parked state, then shut down: the
+        // reactor must hand them back and every thread must join.
+        std::thread::sleep(Duration::from_millis(150));
+        server.shutdown(); // the test passes iff this returns
     }
 
     #[test]

@@ -17,6 +17,25 @@
 //!   poller further behind (or a resized frame) silently falls back to the
 //!   full frame, so delta mode is never worse and always exact:
 //!   [`apply_delta`] reconstructs the full frame bit-for-bit.
+//! * **Delta chains.**  A poller `k` frames behind (2 ≤ `k` ≤
+//!   [`MAX_DELTA_CHAIN`]) receives the *composition* of the cached per-step
+//!   deltas — the union of changed tiles with the newest version of each
+//!   tile winning — instead of a full frame.  Because every step's delta is
+//!   cut on the same tile grid, composing patches keyed by tile origin is
+//!   exactly equivalent to applying the steps one by one.  Compositions are
+//!   encoded once per `(since, head)` pair and shared, so encode work stays
+//!   bounded by the chain length, never by the poller count.
+//! * **Lock-free reads.**  The published frame ring lives behind an
+//!   atomic-pointer snapshot (the `arc_swap` shim): pollers read payloads
+//!   with zero locks while publishers swap in a new ring.  Per-client
+//!   cursors are sharded across [`CURSOR_SHARDS`] small maps so cursor
+//!   traffic from thousands of clients does not serialize on one mutex
+//!   (eviction still finds the *globally* stalest client).
+//! * **Wire compression.**  Full frames and delta tiles are run-length
+//!   coded (the `rle` shim, pixel-granular PackBits) before base64 whenever
+//!   that shrinks them; the `codec`/`rle` JSON fields tell the client to
+//!   decompress.  Rendered frames are dominated by flat background, so this
+//!   stacks multiplicatively with the delta saving.
 //! * **Per-client cursors.**  Clients may register ([`SessionHub::register_client`])
 //!   and let the hub remember their last-delivered sequence, instead of
 //!   carrying `since` themselves.  The registry is bounded: at capacity the
@@ -26,18 +45,30 @@
 //! Steering commands posted by clients are queued in a [`SteeringInbox`]
 //! for the simulation side to drain between cycles.
 //!
-//! See DESIGN.md §7 for the state machine and the delta exactness argument.
+//! See DESIGN.md §7 for the state machine and the delta exactness argument,
+//! and §10 for the snapshot/shard invariants.
 
+use arc_swap::ArcSwap;
 use parking_lot::{Condvar, Mutex};
 use ricsa_hydro::steering::SteerableParams;
 use ricsa_viz::image::Image;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Tile edge length (pixels) used for delta frames.
 pub const DELTA_TILE: usize = 32;
+
+/// Longest delta chain composed for a lagging poller: a client more than
+/// this many frames behind receives a full frame instead.  Bounds both the
+/// tile-merge work per composition and the number of distinct
+/// `(since, head)` compositions the hub can be asked to encode per publish.
+pub const MAX_DELTA_CHAIN: u64 = 8;
+
+/// Number of cursor shards; client ids map to shards by `id %` this.
+pub const CURSOR_SHARDS: usize = 16;
 
 /// One published frame.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -247,12 +278,18 @@ pub fn delta_from_json(value: &serde_json::Value) -> Option<(u64, FrameDelta)> {
     let tile = value.get("tile")?.as_u64()? as usize;
     let mut tiles = Vec::new();
     for t in value.get("tiles")?.as_array()? {
+        let raw = base64_decode(t.get("data_base64")?.as_str()?)?;
+        let data = if t.get("rle").and_then(|r| r.as_bool()) == Some(true) {
+            rle::decompress(&raw)?
+        } else {
+            raw
+        };
         tiles.push(TilePatch {
             x: t.get("x")?.as_u64()? as usize,
             y: t.get("y")?.as_u64()? as usize,
             w: t.get("w")?.as_u64()? as usize,
             h: t.get("h")?.as_u64()? as usize,
-            data: base64_decode(t.get("data_base64")?.as_str()?)?,
+            data,
         });
     }
     Some((
@@ -282,20 +319,52 @@ fn frame_header_json(frame: &Frame, epoch: u64) -> serde_json::Value {
 /// `epoch`.  This is the work the encode cache performs exactly once per
 /// publish; the `webfront_bench` criterion bench calls it directly to
 /// price the per-client-encode alternative.
+///
+/// The image bytes are run-length compressed before base64 whenever that
+/// shrinks them, signalled by `"codec":"rle"`; incompressible frames ship
+/// raw with no `codec` field, so compression is never a regression.
 pub fn encode_frame_full(frame: &Frame, epoch: u64) -> String {
     let mut value = frame_header_json(frame, epoch);
     if let serde_json::Value::Object(map) = &mut value {
         map.insert("mode".into(), serde_json::json!("full"));
-        map.insert(
-            "image_base64".into(),
-            serde_json::json!(base64_encode(&frame.image)),
-        );
+        let packed = rle::compress(&frame.image);
+        if packed.len() < frame.image.len() {
+            map.insert("codec".into(), serde_json::json!("rle"));
+            map.insert(
+                "image_base64".into(),
+                serde_json::json!(base64_encode(&packed)),
+            );
+        } else {
+            map.insert(
+                "image_base64".into(),
+                serde_json::json!(base64_encode(&frame.image)),
+            );
+        }
     }
     value.to_string()
 }
 
+/// Recover the raw image bytes (RICSAIMG framing) carried by a full-frame
+/// payload, undoing base64 and the optional `"codec":"rle"` compression.
+/// The decoding inverse of [`encode_frame_full`]; `None` on a malformed
+/// payload.  Tests and non-browser clients use this instead of assuming
+/// the wire representation.
+pub fn image_from_json(value: &serde_json::Value) -> Option<Vec<u8>> {
+    let bytes = base64_decode(value.get("image_base64")?.as_str()?)?;
+    match value.get("codec").and_then(|c| c.as_str()) {
+        Some("rle") => rle::decompress(&bytes),
+        Some(_) => None, // unknown codec: do not misread the bytes
+        None => Some(bytes),
+    }
+}
+
 /// JSON-encode a delta frame (mode `delta`) against `base_sequence`,
 /// stamped with the hub's `epoch`.
+///
+/// Each tile's bytes are run-length compressed before base64 whenever that
+/// shrinks them, marked per-tile with `"rle":true` — a tile of turbulent
+/// pixels ships raw while its flat neighbours compress, so the delta is
+/// never larger for having the codec available.
 pub fn encode_frame_delta(
     frame: &Frame,
     epoch: u64,
@@ -306,13 +375,25 @@ pub fn encode_frame_delta(
         .tiles
         .iter()
         .map(|t| {
-            serde_json::json!({
-                "x": t.x,
-                "y": t.y,
-                "w": t.w,
-                "h": t.h,
-                "data_base64": base64_encode(&t.data),
-            })
+            let packed = rle::compress(&t.data);
+            if packed.len() < t.data.len() {
+                serde_json::json!({
+                    "x": t.x,
+                    "y": t.y,
+                    "w": t.w,
+                    "h": t.h,
+                    "rle": true,
+                    "data_base64": base64_encode(&packed),
+                })
+            } else {
+                serde_json::json!({
+                    "x": t.x,
+                    "y": t.y,
+                    "w": t.w,
+                    "h": t.h,
+                    "data_base64": base64_encode(&t.data),
+                })
+            }
         })
         .collect();
     let mut value = frame_header_json(frame, epoch);
@@ -338,6 +419,45 @@ struct CachedFrame {
     /// `None` for the first frame, after a resize, or when the delta would
     /// not be meaningfully smaller than the full payload.
     delta: Option<Arc<str>>,
+    /// The raw (un-encoded) tile difference against the immediately
+    /// preceding sequence, kept for chain composition — present even when
+    /// the encoded single-step delta was discarded as unprofitable, since
+    /// a *composed* chain containing this step may still win.
+    delta_raw: Option<FrameDelta>,
+}
+
+/// An immutable snapshot of the published frames, swapped atomically on
+/// every publish.  Pollers read it via [`ArcSwap::load_full`] — no lock —
+/// so payload lookups never contend with publishers or each other.
+struct FrameRing {
+    /// Retained frames in ascending sequence order (shared with the
+    /// publisher's working copy; cloning the ring clones `Arc`s, not
+    /// payloads).
+    frames: Vec<Arc<CachedFrame>>,
+    /// The newest sequence number pollers may see: everything at or below
+    /// it is fully inserted.  Frames above it belong to publishers still
+    /// encoding — handing them out early would let a poller advance its
+    /// cursor past a frame that has not landed yet and lose it forever.
+    visible: u64,
+}
+
+/// Publisher-side mutable state, touched only on publish (never by
+/// pollers): sequence assignment, the in-flight claim set, the diff base,
+/// and the working copy of the frame list from which ring snapshots are
+/// cut.
+struct PubState {
+    latest_sequence: u64,
+    /// Sequence numbers claimed by publishers still encoding outside the
+    /// lock; the ring's `visible` stops just below the smallest claim.
+    in_flight: BTreeSet<u64>,
+    /// Decoded image of the most recently published frame, kept so the
+    /// next publish can diff against it without re-decoding (and without
+    /// holding any lock while it does).
+    last_image: Option<(u64, Image)>,
+    /// Working frame list, ascending by sequence; cloned (shallowly) into
+    /// each [`FrameRing`] snapshot.
+    frames: Vec<Arc<CachedFrame>>,
+    capacity: usize,
 }
 
 struct ClientState {
@@ -347,62 +467,80 @@ struct ClientState {
     last_touch: u64,
 }
 
-struct HubState {
-    frames: VecDeque<CachedFrame>,
-    latest_sequence: u64,
-    capacity: usize,
+/// One shard of the client-cursor registry.  Ids map to shards by
+/// `id % CURSOR_SHARDS`, so cursor reads/updates from different clients
+/// almost never share a mutex.
+#[derive(Default)]
+struct CursorShard {
     clients: HashMap<u64, ClientState>,
-    next_client: u64,
+}
+
+/// Composed-delta memo: `(since, head)` → encoded payload, or `None` for
+/// a composition tried and found unprofitable.
+type ComposeCache = HashMap<(u64, u64), Option<Arc<str>>>;
+
+/// Everything a [`SessionHub`] handle points at.
+struct HubInner {
+    /// The lock-free read path: the current frame snapshot.
+    ring: ArcSwap<FrameRing>,
+    /// The publish path (see [`PubState`]); pollers never take this.
+    publisher: Mutex<PubState>,
+    /// Sharded client cursors, [`CURSOR_SHARDS`] of them.
+    cursors: Vec<Mutex<CursorShard>>,
+    next_client: AtomicU64,
+    /// Registered-client count across all shards (kept by the mutators so
+    /// eviction and `client_count` need not sum shard sizes under locks).
+    client_total: AtomicUsize,
+    /// Global logical clock for activity stamps; comparable across shards
+    /// so eviction can find the *globally* stalest client.
+    clock: AtomicU64,
     max_clients: usize,
-    clock: u64,
-    encodes: u64,
-    /// Decoded image of the most recently published frame, kept so the
-    /// next publish can diff against it without re-decoding (and without
-    /// holding the lock while it does).
-    last_image: Option<(u64, Image)>,
+    /// Total encode passes (full + single-step delta + composed delta).
+    encodes: AtomicU64,
     /// Instance marker stamped into every payload: a client holding state
     /// from a previous server incarnation sees the epoch change and knows
     /// its pixel buffer and `since` cursor are stale (a delta against
-    /// another epoch must never be applied).
+    /// another epoch must never be applied).  Immutable after creation.
     epoch: u64,
-    /// Sequence numbers claimed by publishers still encoding outside the
-    /// lock.  Frames above the smallest in-flight claim are withheld from
-    /// pollers — otherwise a poller could be handed N+1 while N is still
-    /// encoding, advance its cursor past N, and lose N forever.
-    in_flight: BTreeSet<u64>,
+    /// Composed-delta cache, keyed `(since, head)`; cleared on publish.
+    /// `None` records a composition that was tried and found unprofitable,
+    /// so it is not re-attempted for every poller at the same lag.  The
+    /// lock is *held through the encode* so racing pollers at the same lag
+    /// share one composition instead of encoding it N times.
+    compose: Mutex<ComposeCache>,
+    /// Callbacks run after every publish, once the new ring snapshot is
+    /// visible — the server wires the HTTP [`crate::Waker`] doorbell here.
+    wake_hooks: Mutex<Vec<Box<dyn Fn() + Send + Sync>>>,
+    /// Pairs with `wait_cvar` for [`SessionHub::poll_after`].  Publishers
+    /// acquire it (empty critical section) between storing the ring and
+    /// notifying, which closes the missed-wakeup window: a waiter checks
+    /// the ring *while holding it*, so the publisher cannot slip its
+    /// notify between the waiter's check and its wait.
+    wait_lock: Mutex<()>,
+    wait_cvar: Condvar,
 }
 
-impl HubState {
-    /// The newest sequence number pollers may see: everything at or below
-    /// it is fully inserted.
-    fn visible_sequence(&self) -> u64 {
-        match self.in_flight.iter().next() {
-            Some(&oldest_claim) => oldest_claim - 1,
-            None => self.latest_sequence,
-        }
-    }
-}
-
-impl HubState {
-    fn touch(&mut self) -> u64 {
-        self.clock += 1;
-        self.clock
+impl FrameRing {
+    /// The oldest retained frame newer than `since` that is visible.
+    fn first_after(&self, since: u64) -> Option<&Arc<CachedFrame>> {
+        self.frames
+            .iter()
+            .find(|c| c.frame.sequence > since && c.frame.sequence <= self.visible)
     }
 
-    fn evict_to_capacity(&mut self) {
-        while self.clients.len() > self.max_clients {
-            let Some((&stalest, _)) = self.clients.iter().min_by_key(|(_, c)| c.last_touch) else {
-                return;
-            };
-            self.clients.remove(&stalest);
-        }
+    /// The newest visible frame.
+    fn newest(&self) -> Option<&Arc<CachedFrame>> {
+        self.frames
+            .iter()
+            .rev()
+            .find(|c| c.frame.sequence <= self.visible)
     }
 }
 
 /// The frame hub shared between the visualization side and HTTP handlers.
 #[derive(Clone)]
 pub struct SessionHub {
-    state: Arc<(Mutex<HubState>, Condvar)>,
+    inner: Arc<HubInner>,
 }
 
 impl Default for SessionHub {
@@ -422,32 +560,49 @@ impl SessionHub {
     /// registered client cursors (the stalest is evicted beyond that).
     pub fn with_limits(capacity: usize, max_clients: usize) -> Self {
         SessionHub {
-            state: Arc::new((
-                Mutex::new(HubState {
-                    frames: VecDeque::new(),
-                    latest_sequence: 0,
-                    capacity: capacity.max(1),
-                    clients: HashMap::new(),
-                    next_client: 1,
-                    max_clients: max_clients.max(1),
-                    clock: 0,
-                    encodes: 0,
-                    last_image: None,
-                    // Keep the epoch within f64's exact-integer range
-                    // (2^53): JSON numbers — and the serde shim's Value —
-                    // are doubles, and a corrupted epoch would defeat the
-                    // restart detection it exists for.
-                    in_flight: BTreeSet::new(),
-                    epoch: (std::time::SystemTime::now()
-                        .duration_since(std::time::UNIX_EPOCH)
-                        .map(|d| d.as_nanos() as u64)
-                        .unwrap_or(1)
-                        & ((1 << 53) - 1))
-                        .max(1),
+            inner: Arc::new(HubInner {
+                ring: ArcSwap::from_pointee(FrameRing {
+                    frames: Vec::new(),
+                    visible: 0,
                 }),
-                Condvar::new(),
-            )),
+                publisher: Mutex::new(PubState {
+                    latest_sequence: 0,
+                    in_flight: BTreeSet::new(),
+                    last_image: None,
+                    frames: Vec::new(),
+                    capacity: capacity.max(1),
+                }),
+                cursors: (0..CURSOR_SHARDS).map(|_| Mutex::default()).collect(),
+                next_client: AtomicU64::new(1),
+                client_total: AtomicUsize::new(0),
+                clock: AtomicU64::new(0),
+                max_clients: max_clients.max(1),
+                encodes: AtomicU64::new(0),
+                // Keep the epoch within f64's exact-integer range (2^53):
+                // JSON numbers — and the serde shim's Value — are doubles,
+                // and a corrupted epoch would defeat the restart detection
+                // it exists for.
+                epoch: (std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_nanos() as u64)
+                    .unwrap_or(1)
+                    & ((1 << 53) - 1))
+                    .max(1),
+                compose: Mutex::new(HashMap::new()),
+                wake_hooks: Mutex::new(Vec::new()),
+                wait_lock: Mutex::new(()),
+                wait_cvar: Condvar::new(),
+            }),
         }
+    }
+
+    /// Register a callback run after every publish, once the new frame is
+    /// readable through the hub.  The readiness serving core registers the
+    /// HTTP server's [`crate::Waker`] here, so parked long-polls are woken
+    /// the moment a frame lands.  Hooks must be cheap and must not call
+    /// back into the hub.
+    pub fn add_wake_hook(&self, hook: impl Fn() + Send + Sync + 'static) {
+        self.inner.wake_hooks.lock().push(Box::new(hook));
     }
 
     /// Publish a frame; it is assigned the next sequence number, which is
@@ -455,60 +610,95 @@ impl SessionHub {
     /// against the previous frame — is encoded here, exactly once, no
     /// matter how many clients will poll it.  Waiting pollers are woken.
     ///
-    /// The encode/diff work happens *outside* the hub lock (pollers keep
-    /// being served while a frame is encoded); only sequence assignment
-    /// and cache insertion hold it.
+    /// The encode/diff work happens *outside* the publisher lock (pollers
+    /// read the previous ring snapshot, lock-free, while a frame is
+    /// encoded); only sequence assignment and the snapshot swap hold it.
     pub fn publish(&self, mut frame: Frame) -> u64 {
-        let (lock, cvar) = &*self.state;
+        let inner = &*self.inner;
 
         // Lock 1: claim a sequence number (marked in-flight so pollers are
         // not handed a later frame first) and take the predecessor's
         // decoded image for the diff.
-        let (seq, prev_image, epoch) = {
-            let mut state = lock.lock();
-            state.latest_sequence += 1;
-            let seq = state.latest_sequence;
-            state.in_flight.insert(seq);
-            (seq, state.last_image.take(), state.epoch)
+        let (seq, prev_image) = {
+            let mut publisher = inner.publisher.lock();
+            publisher.latest_sequence += 1;
+            let seq = publisher.latest_sequence;
+            publisher.in_flight.insert(seq);
+            (seq, publisher.last_image.take())
         };
         frame.sequence = seq;
 
-        // Encode without the lock held.
-        let full: Arc<str> = Arc::from(encode_frame_full(&frame, epoch).as_str());
+        // Encode without any lock held.
+        let full: Arc<str> = Arc::from(encode_frame_full(&frame, inner.epoch).as_str());
         let cur_image = Image::decode_raw(&frame.image);
         let mut delta_encodes = 0u64;
-        let delta = prev_image
+        let delta_raw = prev_image
             .filter(|(prev_seq, _)| *prev_seq == seq - 1)
             .zip(cur_image.as_ref())
-            .and_then(|((_, prev_img), cur_img)| diff_images(&prev_img, cur_img, DELTA_TILE))
+            .and_then(|((_, prev_img), cur_img)| diff_images(&prev_img, cur_img, DELTA_TILE));
+        let delta = delta_raw
+            .as_ref()
             .map(|delta| {
                 delta_encodes = 1; // real work even if discarded below
-                encode_frame_delta(&frame, epoch, seq - 1, &delta)
+                encode_frame_delta(&frame, inner.epoch, seq - 1, delta)
             })
             // A delta that is not meaningfully smaller than the full frame
             // (most of the screen changed) is not worth caching or
             // shipping: require at least a 10% saving.
             .filter(|json| json.len() * 10 <= full.len() * 9)
             .map(|json| Arc::from(json.as_str()));
+        inner
+            .encodes
+            .fetch_add(1 + delta_encodes, Ordering::Relaxed);
+        let cached = Arc::new(CachedFrame {
+            frame,
+            full,
+            delta,
+            delta_raw,
+        });
 
         // Lock 2: insert in sequence order (a racing publisher may have
-        // inserted a later frame while we encoded) and wake pollers.
-        let mut state = lock.lock();
-        state.encodes += 1 + delta_encodes;
-        state.in_flight.remove(&seq);
-        let at = state.frames.partition_point(|c| c.frame.sequence < seq);
-        state.frames.insert(at, CachedFrame { frame, full, delta });
-        while state.frames.len() > state.capacity {
-            state.frames.pop_front();
-        }
-        if let Some(cur) = cur_image {
-            // Keep the newest decoded image as the next diff base (racing
-            // publishers: only the latest sequence wins).
-            if state.last_image.as_ref().is_none_or(|(s, _)| *s < seq) {
-                state.last_image = Some((seq, cur));
+        // inserted a later frame while we encoded) and swap in the new
+        // ring snapshot.
+        {
+            let mut publisher = inner.publisher.lock();
+            publisher.in_flight.remove(&seq);
+            let at = publisher.frames.partition_point(|c| c.frame.sequence < seq);
+            publisher.frames.insert(at, cached);
+            if publisher.frames.len() > publisher.capacity {
+                let excess = publisher.frames.len() - publisher.capacity;
+                publisher.frames.drain(..excess);
             }
+            if let Some(cur) = cur_image {
+                // Keep the newest decoded image as the next diff base
+                // (racing publishers: only the latest sequence wins).
+                if publisher.last_image.as_ref().is_none_or(|(s, _)| *s < seq) {
+                    publisher.last_image = Some((seq, cur));
+                }
+            }
+            let visible = match publisher.in_flight.iter().next() {
+                Some(&oldest_claim) => oldest_claim - 1,
+                None => publisher.latest_sequence,
+            };
+            inner.ring.store(Arc::new(FrameRing {
+                frames: publisher.frames.clone(),
+                visible,
+            }));
+            // Compositions target the previous head; drop them (bounded
+            // memory, and stale entries would only be asked for once more
+            // anyway).
+            inner.compose.lock().clear();
         }
-        cvar.notify_all();
+
+        // Wake waiting pollers.  Taking wait_lock (and releasing it empty)
+        // orders the ring store above before any waiter's re-check: a
+        // waiter holding the lock has either already seen the new ring or
+        // is inside wait_for and will be notified.
+        drop(inner.wait_lock.lock());
+        inner.wait_cvar.notify_all();
+        for hook in inner.wake_hooks.lock().iter() {
+            hook();
+        }
         seq
     }
 
@@ -516,18 +706,15 @@ impl SessionHub {
     /// (0 if none yet).  Sequence numbers claimed by publishers still
     /// encoding are not reported — they are not yet observable.
     pub fn latest_sequence(&self) -> u64 {
-        self.state.0.lock().visible_sequence()
+        self.inner.ring.load_full().visible
     }
 
     /// The most recent (fully published) frame, if any.
     pub fn latest_frame(&self) -> Option<Frame> {
-        let state = self.state.0.lock();
-        let visible = state.visible_sequence();
-        state
-            .frames
-            .iter()
-            .rev()
-            .find(|c| c.frame.sequence <= visible)
+        self.inner
+            .ring
+            .load_full()
+            .newest()
             .map(|c| c.frame.clone())
     }
 
@@ -535,29 +722,23 @@ impl SessionHub {
     /// field).  Clients must discard retained frame state when it changes:
     /// a delta from one epoch is meaningless against pixels of another.
     pub fn epoch(&self) -> u64 {
-        self.state.0.lock().epoch
+        self.inner.epoch
     }
 
-    /// Total encode passes performed (full + delta).  Grows with
-    /// publishes, never with pollers — the invariant the encode cache
-    /// exists to provide.
+    /// Total encode passes performed (full + per-step delta + composed
+    /// delta).  Grows with publishes — plus at most [`MAX_DELTA_CHAIN`]
+    /// compositions per publish — never with pollers: the invariant the
+    /// encode cache exists to provide.
     pub fn encode_count(&self) -> u64 {
-        self.state.0.lock().encodes
+        self.inner.encodes.load(Ordering::Relaxed)
     }
 
-    /// The full payload of the newest *cached* frame, if any.  This reads
-    /// the cache tail directly rather than going through
-    /// `latest_sequence()`, which during a publish is already bumped
-    /// before the frame's payload is inserted (sequence claim and cache
-    /// insertion are separate critical sections).
+    /// The full payload of the newest visible frame, if any.
     pub fn latest_payload(&self) -> Option<FramePayload> {
-        let state = self.state.0.lock();
-        let visible = state.visible_sequence();
-        state
-            .frames
-            .iter()
-            .rev()
-            .find(|c| c.frame.sequence <= visible)
+        self.inner
+            .ring
+            .load_full()
+            .newest()
             .map(|cached| FramePayload {
                 sequence: cached.frame.sequence,
                 json: cached.full.clone(),
@@ -565,25 +746,48 @@ impl SessionHub {
             })
     }
 
-    /// The shared payload for the oldest retained frame newer than
-    /// `since`, without waiting.  [`PollMode::Delta`] yields the delta
-    /// encoding only when the client is exactly one frame behind and a
-    /// delta was cached; everything else gets the full frame.
+    /// The shared payload for a frame newer than `since`, without waiting.
+    /// Reads the current ring snapshot lock-free.
+    ///
+    /// [`PollMode::Full`] (and a client exactly at the head) always gets
+    /// the oldest visible frame newer than `since`, as a full payload.
+    /// [`PollMode::Delta`] serves, in order of preference: the cached
+    /// single-step delta when the client is exactly one frame behind; the
+    /// *composed* delta chain carrying it straight to the newest frame
+    /// when it is 2..=[`MAX_DELTA_CHAIN`] behind and every step's tile
+    /// difference is available; the full frame otherwise.  Compositions
+    /// are encoded once per `(since, head)` pair and shared.
     pub fn try_payload(&self, since: u64, mode: PollMode) -> Option<FramePayload> {
-        let state = self.state.0.lock();
-        let visible = state.visible_sequence();
-        let cached = state
-            .frames
-            .iter()
-            .find(|c| c.frame.sequence > since && c.frame.sequence <= visible)?;
+        let ring = self.inner.ring.load_full();
+        let cached = ring.first_after(since)?;
         let sequence = cached.frame.sequence;
-        if mode == PollMode::Delta && sequence == since + 1 {
-            if let Some(delta) = &cached.delta {
-                return Some(FramePayload {
-                    sequence,
-                    json: delta.clone(),
-                    is_delta: true,
+        if mode == PollMode::Delta {
+            // first_after succeeded, so visible > since and lag >= 1.
+            let lag = ring.visible - since;
+            if (2..=MAX_DELTA_CHAIN).contains(&lag) {
+                if let Some(payload) = self.composed_delta(&ring, since) {
+                    return Some(payload);
+                }
+            }
+            if lag > MAX_DELTA_CHAIN {
+                // Too far behind to compose: resync with the newest full
+                // frame in one hop instead of replaying stale frames.
+                return ring.newest().map(|newest| FramePayload {
+                    sequence: newest.frame.sequence,
+                    json: newest.full.clone(),
+                    is_delta: false,
                 });
+            }
+            // One behind (or an unprofitable/incomplete chain): step with
+            // the cached per-publish delta when there is one.
+            if sequence == since + 1 {
+                if let Some(delta) = &cached.delta {
+                    return Some(FramePayload {
+                        sequence,
+                        json: delta.clone(),
+                        is_delta: true,
+                    });
+                }
             }
         }
         Some(FramePayload {
@@ -593,64 +797,170 @@ impl SessionHub {
         })
     }
 
+    /// Compose the per-step deltas `since+1..=head` into one merged delta
+    /// payload (newest version of each tile wins), encoded at most once
+    /// per `(since, head)` pair.  `None` when the chain is too long or too
+    /// short, any step is missing its raw delta (first frame, resize,
+    /// evicted), geometries differ, or the composition is not meaningfully
+    /// smaller than the head's full payload.
+    fn composed_delta(&self, ring: &FrameRing, since: u64) -> Option<FramePayload> {
+        let inner = &*self.inner;
+        let head = ring.visible;
+        let lag = head.checked_sub(since)?;
+        if !(2..=MAX_DELTA_CHAIN).contains(&lag) {
+            return None;
+        }
+        // Collect the contiguous steps since+1..=head; every one must be
+        // retained and carry a raw delta on the same geometry.
+        let start = ring.frames.partition_point(|c| c.frame.sequence <= since);
+        let steps = &ring.frames[start..];
+        let mut chain = Vec::with_capacity(lag as usize);
+        for (offset, want) in (since + 1..=head).enumerate() {
+            let step = steps.get(offset)?;
+            if step.frame.sequence != want {
+                return None;
+            }
+            chain.push((step, step.delta_raw.as_ref()?));
+        }
+        let (_, first) = chain[0];
+        if chain.iter().any(|(_, d)| {
+            d.width != first.width || d.height != first.height || d.tile != first.tile
+        }) {
+            return None;
+        }
+
+        let mut cache = inner.compose.lock();
+        if let Some(entry) = cache.get(&(since, head)) {
+            return entry.as_ref().map(|json| FramePayload {
+                sequence: head,
+                json: json.clone(),
+                is_delta: true,
+            });
+        }
+        // Merge: tiles are keyed by their grid origin (every step is cut
+        // on the same grid), so replacing older versions of a tile with
+        // newer ones is exactly equivalent to applying the steps in order.
+        let mut merged: HashMap<(usize, usize), &TilePatch> = HashMap::new();
+        for (_, delta) in &chain {
+            for tile in &delta.tiles {
+                merged.insert((tile.x, tile.y), tile);
+            }
+        }
+        let mut tiles: Vec<TilePatch> = merged.into_values().cloned().collect();
+        tiles.sort_by_key(|t| (t.y, t.x));
+        let composed = FrameDelta {
+            width: first.width,
+            height: first.height,
+            tile: first.tile,
+            tiles,
+        };
+        let (head_frame, _) = chain[lag as usize - 1];
+        let json = encode_frame_delta(&head_frame.frame, inner.epoch, since, &composed);
+        inner.encodes.fetch_add(1, Ordering::Relaxed);
+        // Same profitability rule as single-step deltas: a composition
+        // within 10% of the full payload is not worth shipping, and the
+        // verdict is cached so other pollers at this lag skip the attempt.
+        let entry: Option<Arc<str>> = if json.len() * 10 <= head_frame.full.len() * 9 {
+            Some(Arc::from(json.as_str()))
+        } else {
+            None
+        };
+        cache.insert((since, head), entry.clone());
+        entry.map(|json| FramePayload {
+            sequence: head,
+            json,
+            is_delta: true,
+        })
+    }
+
     /// Long-poll: return the oldest retained frame newer than `since`,
     /// waiting up to `timeout` for one to be published.  `None` on timeout —
     /// the client simply re-polls, exactly like an `XMLHttpRequest` loop.
     pub fn poll_after(&self, since: u64, timeout: Duration) -> Option<Frame> {
-        let (lock, cvar) = &*self.state;
-        let mut state = lock.lock();
+        let inner = &*self.inner;
         let deadline = std::time::Instant::now() + timeout;
+        let mut guard = inner.wait_lock.lock();
         loop {
-            let visible = state.visible_sequence();
-            if visible > since {
-                let frame = state
-                    .frames
-                    .iter()
-                    .find(|c| c.frame.sequence > since && c.frame.sequence <= visible)
-                    .map(|c| c.frame.clone());
-                if frame.is_some() {
-                    return frame;
-                }
+            // Check while holding wait_lock: the publisher stores the ring
+            // *before* acquiring it to notify, so a snapshot read here is
+            // either current or the notify is still coming.
+            if let Some(cached) = inner.ring.load_full().first_after(since) {
+                return Some(cached.frame.clone());
             }
             let now = std::time::Instant::now();
             if now >= deadline {
                 return None;
             }
-            let wait = deadline - now;
-            if cvar.wait_for(&mut state, wait).timed_out() && state.latest_sequence <= since {
-                return None;
-            }
+            inner.wait_cvar.wait_for(&mut guard, deadline - now);
         }
     }
 
     // ------------------------------------------------------ client cursors
 
+    /// The cursor shard a client id lives in.
+    fn shard(&self, client: u64) -> &Mutex<CursorShard> {
+        &self.inner.cursors[(client % CURSOR_SHARDS as u64) as usize]
+    }
+
     /// Register a polling client; returns its id.  The cursor starts at 0
     /// (the next poll delivers the oldest retained frame).  At
     /// `max_clients` the stalest registered client is evicted to make room.
     pub fn register_client(&self) -> u64 {
-        let mut state = self.state.0.lock();
-        let id = state.next_client;
-        state.next_client += 1;
-        let stamp = state.touch();
-        state.clients.insert(
+        let inner = &*self.inner;
+        let id = inner.next_client.fetch_add(1, Ordering::Relaxed);
+        let stamp = inner.clock.fetch_add(1, Ordering::Relaxed);
+        self.shard(id).lock().clients.insert(
             id,
             ClientState {
                 cursor: 0,
                 last_touch: stamp,
             },
         );
-        state.evict_to_capacity();
+        inner.client_total.fetch_add(1, Ordering::Relaxed);
+        self.evict_to_capacity();
         id
+    }
+
+    /// Evict globally-stalest clients until the registry fits.  Scans all
+    /// shards for the minimum activity stamp without holding more than one
+    /// shard lock at a time; a client touched between the scan and the
+    /// removal is spared and the scan repeats.
+    fn evict_to_capacity(&self) {
+        let inner = &*self.inner;
+        while inner.client_total.load(Ordering::Relaxed) > inner.max_clients {
+            let mut stalest: Option<(u64, u64, usize)> = None; // (stamp, id, shard)
+            for (index, shard) in inner.cursors.iter().enumerate() {
+                let shard = shard.lock();
+                for (&id, client) in shard.clients.iter() {
+                    if stalest.is_none_or(|(stamp, _, _)| client.last_touch < stamp) {
+                        stalest = Some((client.last_touch, id, index));
+                    }
+                }
+            }
+            let Some((stamp, id, index)) = stalest else {
+                return; // registry empty; nothing to evict
+            };
+            let mut shard = inner.cursors[index].lock();
+            if shard
+                .clients
+                .get(&id)
+                .is_some_and(|c| c.last_touch == stamp)
+            {
+                shard.clients.remove(&id);
+                drop(shard);
+                inner.client_total.fetch_sub(1, Ordering::Relaxed);
+            }
+            // else: raced with a touch or another evictor — rescan.
+        }
     }
 
     /// The stored cursor for `client`, refreshing its activity stamp.
     /// `None` when the client is unknown (never registered, or evicted as
     /// stale — it should re-register).
     pub fn client_cursor(&self, client: u64) -> Option<u64> {
-        let mut state = self.state.0.lock();
-        let stamp = state.touch();
-        let entry = state.clients.get_mut(&client)?;
+        let stamp = self.inner.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(client).lock();
+        let entry = shard.clients.get_mut(&client)?;
         entry.last_touch = stamp;
         Some(entry.cursor)
     }
@@ -666,9 +976,9 @@ impl SessionHub {
     /// embedded page does); delivery-acknowledged cursors are a ROADMAP
     /// follow-up.
     pub fn update_cursor(&self, client: u64, sequence: u64) {
-        let mut state = self.state.0.lock();
-        let stamp = state.touch();
-        if let Some(entry) = state.clients.get_mut(&client) {
+        let stamp = self.inner.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(client).lock();
+        if let Some(entry) = shard.clients.get_mut(&client) {
             entry.cursor = entry.cursor.max(sequence);
             entry.last_touch = stamp;
         }
@@ -676,7 +986,7 @@ impl SessionHub {
 
     /// Number of registered clients.
     pub fn client_count(&self) -> usize {
-        self.state.0.lock().clients.len()
+        self.inner.client_total.load(Ordering::Relaxed)
     }
 }
 
@@ -730,6 +1040,16 @@ mod tests {
             image: Image::filled(8, 8, [cycle as u8, 2, 3, 255]).encode_raw(),
             monitors: vec![("max_pressure".into(), 1.5)],
         }
+    }
+
+    /// An image of seeded random pixels — incompressible, so wire-size
+    /// assertions measure the delta machinery rather than the RLE codec.
+    fn noisy_image(rng: &mut StdRng, w: usize, h: usize) -> Image {
+        let mut img = Image::new(w, h);
+        for p in img.pixels.iter_mut() {
+            *p = rng.gen_range(0..256) as u8;
+        }
+        img
     }
 
     #[test]
@@ -827,8 +1147,9 @@ mod tests {
 
     #[test]
     fn delta_is_smaller_on_wire_and_skipped_when_not() {
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
         let hub = SessionHub::new(8);
-        let base = Image::filled(64, 64, [1, 2, 3, 255]);
+        let base = noisy_image(&mut rng, 64, 64);
         hub.publish(Frame {
             image: base.encode_raw(),
             ..frame(1)
@@ -846,13 +1167,75 @@ mod tests {
             delta.json.len() < full.json.len() / 3,
             "one-tile delta should be far smaller than the full frame"
         );
-        // Now change every pixel: the delta would be larger than the full
-        // frame (per-tile overhead), so the hub falls back to full.
+        // Now replace every pixel with fresh noise: the delta covers the
+        // whole screen plus per-tile overhead, so the hub falls back to
+        // full.
         hub.publish(Frame {
-            image: Image::filled(64, 64, [7, 7, 7, 7]).encode_raw(),
+            image: noisy_image(&mut rng, 64, 64).encode_raw(),
             ..frame(3)
         });
         assert!(!hub.try_payload(2, PollMode::Delta).unwrap().is_delta);
+    }
+
+    #[test]
+    fn full_payload_rle_codec_shrinks_flat_frames_and_round_trips() {
+        // A flat frame is dominated by one pixel run: the payload must be
+        // marked codec=rle, be far smaller than the raw bytes, and decode
+        // back bit-for-bit via image_from_json.
+        let flat = Frame {
+            sequence: 1,
+            cycle: 1,
+            time: 0.1,
+            image: Image::filled(64, 64, [10, 20, 30, 255]).encode_raw(),
+            monitors: vec![],
+        };
+        let json = encode_frame_full(&flat, 7);
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value["codec"], "rle");
+        assert_eq!(image_from_json(&value).unwrap(), flat.image);
+        assert!(
+            json.len() < flat.image.len() / 4,
+            "flat frame must compress well: {} -> {}",
+            flat.image.len(),
+            json.len()
+        );
+
+        // Incompressible frames ship raw — no codec field, never larger.
+        let mut rng = StdRng::seed_from_u64(11);
+        let noisy = Frame {
+            image: noisy_image(&mut rng, 32, 32).encode_raw(),
+            ..flat
+        };
+        let json = encode_frame_full(&noisy, 7);
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(value.get("codec").is_none());
+        assert_eq!(image_from_json(&value).unwrap(), noisy.image);
+    }
+
+    #[test]
+    fn delta_tiles_rle_compress_flat_tiles_and_decode_exactly() {
+        // A one-pixel change in a flat region: the changed tile is mostly
+        // one run, so it ships rle-marked, and delta_from_json must undo
+        // the compression transparently.
+        let prev = Image::filled(64, 64, [5, 6, 7, 255]);
+        let mut cur = prev.clone();
+        cur.set(40, 9, [1, 2, 3, 4]);
+        let delta = diff_images(&prev, &cur, DELTA_TILE).unwrap();
+        let f = Frame {
+            sequence: 2,
+            cycle: 2,
+            time: 0.2,
+            image: cur.encode_raw(),
+            monitors: vec![],
+        };
+        let json = encode_frame_delta(&f, 7, 1, &delta);
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let tiles = value["tiles"].as_array().unwrap();
+        assert_eq!(tiles.len(), 1);
+        assert_eq!(tiles[0]["rle"], true);
+        let (base, wire) = delta_from_json(&value).unwrap();
+        assert_eq!(base, 1);
+        assert_eq!(apply_delta(&prev, &wire), cur);
     }
 
     #[test]
@@ -895,6 +1278,160 @@ mod tests {
                 cur,
                 "case {case}: via JSON wire"
             );
+        }
+    }
+
+    /// Publish a run of frames with sparse edits confined to the first two
+    /// tiles, returning the image history indexed by `sequence - 1`.
+    fn publish_chain(hub: &SessionHub, rng: &mut StdRng, steps: u64) -> Vec<Image> {
+        let (w, h) = (96, 64);
+        let mut img = noisy_image(rng, w, h);
+        let mut history = Vec::new();
+        hub.publish(Frame {
+            image: img.encode_raw(),
+            ..frame(0)
+        });
+        history.push(img.clone());
+        for c in 1..=steps {
+            // Sparse edits inside the first two tiles of the grid: each
+            // per-step delta stays small relative to the (noisy,
+            // incompressible) full frame, so deltas and compositions pass
+            // the profitability filter.
+            for _ in 0..6 {
+                let x = rng.gen_range(0..2 * DELTA_TILE);
+                let y = rng.gen_range(0..DELTA_TILE);
+                img.set(x, y, [rng.gen_range(0..256) as u8, 1, 2, 255]);
+            }
+            hub.publish(Frame {
+                image: img.encode_raw(),
+                ..frame(c)
+            });
+            history.push(img.clone());
+        }
+        history
+    }
+
+    #[test]
+    fn composed_delta_chains_reconstruct_the_head_frame_exactly() {
+        // Property test: a client `lag` frames behind receives one merged
+        // delta jumping it straight to the head; applying that delta to
+        // its retained pixels must reproduce the head frame bit-for-bit,
+        // for every lag in 2..=MAX_DELTA_CHAIN — i.e. composing k per-step
+        // deltas is exactly equivalent to applying them one by one.
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        let hub = SessionHub::new(32);
+        let history = publish_chain(&hub, &mut rng, MAX_DELTA_CHAIN + 2);
+        let head = hub.latest_sequence();
+        for lag in 2..=MAX_DELTA_CHAIN {
+            let since = head - lag;
+            let payload = hub.try_payload(since, PollMode::Delta).unwrap();
+            assert!(payload.is_delta, "lag {lag} should compose a delta");
+            assert_eq!(payload.sequence, head, "a composition jumps to head");
+            let value: serde_json::Value = serde_json::from_str(&payload.json).unwrap();
+            let (base, wire) = delta_from_json(&value).unwrap();
+            assert_eq!(base, since, "delta is based on the client's pixels");
+            assert_eq!(
+                apply_delta(&history[since as usize - 1], &wire),
+                history[head as usize - 1],
+                "lag {lag}: composed chain must equal the head frame"
+            );
+        }
+        // Beyond MAX_DELTA_CHAIN the hub ships a full frame instead.
+        let far = hub
+            .try_payload(head - MAX_DELTA_CHAIN - 1, PollMode::Delta)
+            .unwrap();
+        assert!(!far.is_delta, "over-long chains fall back to full");
+    }
+
+    #[test]
+    fn composed_deltas_are_encoded_once_and_shared_across_pollers() {
+        let mut rng = StdRng::seed_from_u64(0xFACE);
+        let hub = SessionHub::new(32);
+        publish_chain(&hub, &mut rng, 5);
+        let head = hub.latest_sequence();
+        let since = head - 3;
+        let first = hub.try_payload(since, PollMode::Delta).unwrap();
+        assert!(first.is_delta);
+        let encodes = hub.encode_count();
+        for _ in 0..50 {
+            let p = hub.try_payload(since, PollMode::Delta).unwrap();
+            assert!(Arc::ptr_eq(&p.json, &first.json), "same shared composition");
+        }
+        assert_eq!(
+            hub.encode_count(),
+            encodes,
+            "repeat compositions must hit the cache, not re-encode"
+        );
+    }
+
+    #[test]
+    fn wake_hooks_run_after_every_publish() {
+        let hub = SessionHub::new(4);
+        let hits = Arc::new(AtomicU64::new(0));
+        let hub2 = hub.clone();
+        let hits2 = hits.clone();
+        hub.add_wake_hook(move || {
+            // The new frame must already be readable when the hook runs —
+            // the readiness Waker contract (ring the bell only after the
+            // frame is observable).
+            assert!(hub2.latest_sequence() >= 1);
+            hits2.fetch_add(1, Ordering::SeqCst);
+        });
+        hub.publish(frame(1));
+        hub.publish(frame(2));
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn sharded_cursors_stay_exact_under_racing_clients_and_publishers() {
+        // Clients spread across every shard race cursor reads/updates
+        // against two concurrent publishers: every cursor must advance
+        // monotonically to the final sequence and the registry count must
+        // stay exact (nothing lost or double-evicted).
+        const CLIENTS: usize = 2 * CURSOR_SHARDS;
+        const FRAMES: u64 = 60;
+        let hub = SessionHub::with_limits(256, 1024);
+        let ids: Vec<u64> = (0..CLIENTS).map(|_| hub.register_client()).collect();
+        assert_eq!(hub.client_count(), CLIENTS);
+        let workers: Vec<_> = ids
+            .iter()
+            .map(|&id| {
+                let hub = hub.clone();
+                std::thread::spawn(move || {
+                    let mut last = hub.client_cursor(id).unwrap();
+                    while last < FRAMES {
+                        if let Some(p) = hub.try_payload(last, PollMode::Full) {
+                            assert!(p.sequence > last, "payload must move the cursor");
+                            hub.update_cursor(id, p.sequence);
+                            let cur = hub.client_cursor(id).unwrap();
+                            assert!(cur >= p.sequence, "cursor went backwards");
+                            last = cur;
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        let publishers: Vec<_> = (0..2)
+            .map(|_| {
+                let hub = hub.clone();
+                std::thread::spawn(move || {
+                    for c in 0..FRAMES / 2 {
+                        hub.publish(frame(c));
+                    }
+                })
+            })
+            .collect();
+        for p in publishers {
+            p.join().unwrap();
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(hub.client_count(), CLIENTS, "no client lost to races");
+        for id in ids {
+            assert_eq!(hub.client_cursor(id), Some(FRAMES));
         }
     }
 

@@ -30,8 +30,10 @@
 pub mod http;
 pub mod hub;
 pub mod page;
+pub mod readiness;
 pub mod server;
 
 pub use http::{HttpRequest, HttpResponse, HttpServer, HttpServerConfig, Outcome};
 pub use hub::{Frame, FramePayload, PollMode, SessionHub, SteeringInbox};
+pub use readiness::{Backend, Waker};
 pub use server::{FrontEndConfig, FrontEndServer};

@@ -60,6 +60,28 @@ var pix = null, pixW = 0, pixH = 0, hubEpoch = null, forceFull = true;
 function bytesOf(b64) { var s = atob(b64), a = new Uint8Array(s.length);
   for (var i = 0; i < s.length; i++) { a[i] = s.charCodeAt(i); } return a; }
 
+// The hub's wire codec (pixel-granular PackBits): a 4-byte original length
+// (LE), then records over 4-byte pixel units — control 0..127 is followed
+// by control+1 literal pixels, control 128..255 by one pixel repeated
+// (control-126) times; the trailing len%4 bytes are stored raw.
+function rleDecode(src) {
+  var n = src[0] | (src[1] << 8) | (src[2] << 16) | (src[3] << 24);
+  var out = new Uint8Array(n), at = 4, o = 0, body = n - (n % 4);
+  while (o < body) {
+    var c = src[at++];
+    if (c < 128) {
+      var take = (c + 1) * 4;
+      out.set(src.subarray(at, at + take), o); at += take; o += take;
+    } else {
+      var reps = c - 126, unit = src.subarray(at, at + 4);
+      for (var r = 0; r < reps; r++) { out.set(unit, o); o += 4; }
+      at += 4;
+    }
+  }
+  out.set(src.subarray(at, at + (n % 4)), o);
+  return out;
+}
+
 function redraw(frame) {
   var canvas = document.getElementById('view');
   canvas.width = pixW; canvas.height = pixH;
@@ -81,6 +103,7 @@ function redraw(frame) {
 
 function applyFull(frame) {
   var bytes = bytesOf(frame.image_base64);
+  if (frame.codec === 'rle') { bytes = rleDecode(bytes); }
   // RICSAIMG header: 8 magic + 4 width + 4 height (LE), then RGBA.
   pixW = bytes[8] | (bytes[9] << 8) | (bytes[10] << 16);
   pixH = bytes[12] | (bytes[13] << 8) | (bytes[14] << 16);
@@ -90,6 +113,7 @@ function applyFull(frame) {
 function applyDelta(frame) {
   frame.tiles.forEach(function(t) {
     var data = bytesOf(t.data_base64), off = 0;
+    if (t.rle) { data = rleDecode(data); }
     for (var row = t.y; row < t.y + t.h; row++) {
       pix.set(data.subarray(off, off + t.w * 4), (row * pixW + t.x) * 4);
       off += t.w * 4;
@@ -193,5 +217,10 @@ mod tests {
         assert!(INDEX_HTML.contains("hubEpoch"));
         assert!(INDEX_HTML.contains("forceFull"));
         assert!(INDEX_HTML.contains("RICSAIMG"));
+        // The wire codec: full frames and delta tiles may arrive
+        // run-length coded.
+        assert!(INDEX_HTML.contains("rleDecode"));
+        assert!(INDEX_HTML.contains("frame.codec === 'rle'"));
+        assert!(INDEX_HTML.contains("t.rle"));
     }
 }

@@ -25,6 +25,7 @@
 use crate::http::{HttpRequest, HttpResponse, HttpServer, HttpServerConfig, Outcome, PoolMetrics};
 use crate::hub::{PollMode, SessionHub, SteeringInbox};
 use crate::page::INDEX_HTML;
+use crate::readiness::Backend;
 use ricsa_hydro::steering::SteerableParams;
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -44,7 +45,13 @@ pub struct FrontEndConfig {
 impl Default for FrontEndConfig {
     fn default() -> Self {
         FrontEndConfig {
-            http: HttpServerConfig::default(),
+            // The front end defaults to the readiness backend where the
+            // platform has it: long-polls park in the kernel and the hub's
+            // wake hook rings them awake on publish.
+            http: HttpServerConfig {
+                backend: Backend::auto(),
+                ..HttpServerConfig::default()
+            },
             hub_capacity: 32,
             max_clients: 1024,
         }
@@ -79,6 +86,13 @@ impl FrontEndServer {
         let http = HttpServer::start_with_metrics(addr, config.http, metrics, move |req| {
             route(&route_hub, &route_inbox, &route_metrics, req)
         })?;
+        // Readiness backend: ring the reactor doorbell on every publish so
+        // parked long-polls wake the moment their frame exists.  The hub
+        // runs hooks only after the new frame is readable, so a woken
+        // worker always finds it.
+        if let Some(waker) = http.waker() {
+            hub.add_wake_hook(move || waker.ring());
+        }
         Ok(FrontEndServer { http, hub, inbox })
     }
 
@@ -300,8 +314,9 @@ mod tests {
         let frame = resolve(route(&hub, &inbox, &metrics, get("/api/frame", &[])));
         let value: serde_json::Value = serde_json::from_slice(frame.body.as_bytes()).unwrap();
         assert_eq!(value["sequence"], 1);
-        let b64 = value["image_base64"].as_str().unwrap();
-        assert!(b64.starts_with("UklDU0FJTUc")); // "RICSAIMG" in base64
+        // Codec-aware decode recovers the raw RICSAIMG container bytes.
+        let image = crate::hub::image_from_json(&value).unwrap();
+        assert!(image.starts_with(b"RICSAIMG"));
     }
 
     #[test]

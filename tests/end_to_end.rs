@@ -167,7 +167,7 @@ fn simulation_to_web_front_end_round_trip() {
 fn web_front_end_delta_polls_reconstruct_full_frames_over_http() {
     use ricsa::viz::image::Image;
     use ricsa::webfront::http::read_blocking_response;
-    use ricsa::webfront::hub::{apply_delta, base64_decode, delta_from_json};
+    use ricsa::webfront::hub::{apply_delta, delta_from_json, image_from_json};
     use std::io::{BufReader, Write};
 
     let front_end = FrontEndServer::start("127.0.0.1:0").expect("bind front end");
@@ -211,8 +211,7 @@ fn web_front_end_delta_polls_reconstruct_full_frames_over_http() {
     // All three requests ride the same keep-alive connection.
     let full1 = fetch("/api/poll?since=0&timeout_ms=100&mode=full");
     assert_eq!(full1["sequence"], 1);
-    let prev = Image::decode_raw(&base64_decode(full1["image_base64"].as_str().unwrap()).unwrap())
-        .unwrap();
+    let prev = Image::decode_raw(&image_from_json(&full1).expect("decodable full frame")).unwrap();
 
     let delta2 = fetch("/api/poll?since=1&timeout_ms=100&mode=delta");
     assert_eq!(delta2["mode"], "delta");
@@ -225,8 +224,7 @@ fn web_front_end_delta_polls_reconstruct_full_frames_over_http() {
     );
 
     let latest = fetch("/api/frame");
-    let want = Image::decode_raw(&base64_decode(latest["image_base64"].as_str().unwrap()).unwrap())
-        .unwrap();
+    let want = Image::decode_raw(&image_from_json(&latest).expect("decodable full frame")).unwrap();
     assert_eq!(
         apply_delta(&prev, &delta),
         want,

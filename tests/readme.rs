@@ -105,6 +105,92 @@ fn readme_serving_layer_section_matches_the_code() {
     assert_eq!(hub.encode_count(), encodes, "encode-once promise");
 }
 
+/// The readiness-core claims in the serving-layer section must hold
+/// against the crate surface: `Backend::auto()` picks kernel readiness
+/// where epoll exists, the RLE wire codec is lossless, and a client 2-8
+/// frames behind is served one composed delta chain that applies exactly
+/// to the frame it retains.
+#[test]
+fn readme_readiness_section_matches_the_code() {
+    let text = readme();
+    for promise in [
+        "readiness",
+        "epoll",
+        "parked",
+        "composed delta chains",
+        "RLE",
+        "audited on the wire",
+        "Backend::auto()",
+        "arc_swap",
+    ] {
+        assert!(
+            text.contains(promise),
+            "README serving-layer text must mention '{promise}'"
+        );
+    }
+    use ricsa::viz::image::Image;
+    use ricsa::webfront::hub::{
+        apply_delta, delta_from_json, image_from_json, Frame, PollMode, SessionHub,
+    };
+    use ricsa::webfront::Backend;
+    // Auto-selection: kernel readiness wherever epoll exists (CI runs on
+    // Linux); the portable pool everywhere else.
+    if cfg!(target_os = "linux") {
+        assert_eq!(
+            Backend::auto(),
+            Backend::Readiness,
+            "Backend::auto() promise"
+        );
+    } else {
+        assert_eq!(Backend::auto(), Backend::Pool, "portable fallback promise");
+    }
+    let hub = SessionHub::default();
+    let publish = |img: &Image, cycle: u64| {
+        hub.publish(Frame {
+            sequence: 0,
+            cycle,
+            time: cycle as f64,
+            image: img.encode_raw(),
+            monitors: vec![],
+        });
+    };
+    let mut img = Image::filled(96, 96, [30, 30, 30, 255]);
+    publish(&img, 1);
+    let first = hub.latest_payload().expect("a published frame");
+    // The flat frame ships RLE-compressed, and decodes back bit-exactly.
+    let full: serde_json::Value = serde_json::from_str(&first.json).unwrap();
+    assert_eq!(full["codec"], "rle", "flat frames take the RLE pass");
+    let retained =
+        Image::decode_raw(&image_from_json(&full).expect("decodable full frame")).unwrap();
+    assert_eq!(retained, img, "RLE losslessness promise");
+    for step in 0..3usize {
+        for y in 0..8 {
+            for x in 0..8 {
+                img.set(8 * step + x, y, [200, 40, 10, 255]);
+            }
+        }
+        publish(&img, 2 + step as u64);
+    }
+    // The client still holds frame 1, now three behind: one composed
+    // chain carries it straight to the head.
+    let payload = hub
+        .try_payload(first.sequence, PollMode::Delta)
+        .expect("newer frames exist");
+    assert!(payload.is_delta, "3 behind must still be served a delta");
+    assert_eq!(payload.sequence, hub.latest_sequence());
+    let composed: serde_json::Value = serde_json::from_str(&payload.json).unwrap();
+    let (base, delta) = delta_from_json(&composed).expect("parseable composed delta");
+    assert_eq!(
+        base, first.sequence,
+        "the chain applies to the retained frame"
+    );
+    assert_eq!(
+        apply_delta(&retained, &delta),
+        img,
+        "chain exactness promise"
+    );
+}
+
 /// The adaptive re-mapping section must show the `adapt_live` command and
 /// its promises must hold against the actual crate surface: deterministic
 /// schedules, passive telemetry with no probe traffic, and a change-point
