@@ -24,6 +24,13 @@
 //! * [`adapt_sweep`] — the dynamic-scenario sweep quantifying
 //!   static-vs-adaptive-vs-oracle win rates across hundreds of seeded
 //!   schedules (see DESIGN.md §9),
+//! * [`sessions`] — multi-session serving: many frame-paced user loops
+//!   contending on one WAN, mapped independently or by the
+//!   contention-aware joint solve, with live spawn/retire/migrate through
+//!   per-node session muxes (see DESIGN.md §11),
+//! * [`session_sweep`] — the multi-session sweep quantifying
+//!   joint-vs-independent-vs-client/server throughput, tail latency and
+//!   Jain fairness across session counts and contention families,
 //! * [`api`] — the `Ricsa*` simulation-side API mirroring the six calls the
 //!   paper inserts into VH1 (Fig. 7), used by the web front end and the
 //!   examples to steer a live in-process simulation.
@@ -38,6 +45,8 @@ pub mod experiment;
 pub mod message;
 pub mod roles;
 pub mod session;
+pub mod session_sweep;
+pub mod sessions;
 pub mod stage;
 pub mod sweep;
 
@@ -52,4 +61,12 @@ pub use experiment::{
 };
 pub use message::ControlMessage;
 pub use session::{SessionPlan, SteeringSession};
+pub use session_sweep::{
+    format_session_sweep_report, run_session_sweep, ContentionFamily, PolicyComparison,
+    SessionSweepConfig, SessionSweepRecord, SessionSweepReport,
+};
+pub use sessions::{
+    contention_wan, jain_fairness, run_multi_session, MappingPolicy, MultiSessionRun,
+    MultiSessionSpec, SessionLoopSpec, SessionMux, SessionRun,
+};
 pub use sweep::{format_sweep_report, run_sweep, ScenarioOutcome, SweepConfig, SweepReport};

@@ -26,6 +26,7 @@ pub mod baselines;
 pub mod delay;
 pub mod dp;
 pub mod exhaustive;
+pub mod joint;
 pub mod network;
 pub mod pipeline;
 pub mod sweep;
@@ -37,6 +38,7 @@ pub use baselines::{client_server_mapping, greedy_mapping, paraview_crs_mapping}
 pub use delay::{evaluate_mapping, DelayBreakdown};
 pub use dp::{optimize, optimize_warm, optimize_with, DpOptions, DpStats, OptimizedMapping};
 pub use exhaustive::exhaustive_optimal;
+pub use joint::{solution_digest, solve_joint, JointOptions, JointSession, JointSolution};
 pub use network::{NetGraph, NetLink, NetNode};
 pub use pipeline::{ModuleSpec, Pipeline};
 pub use sweep::{

@@ -465,6 +465,13 @@ struct ClientState {
     /// Logical activity stamp (monotone counter, not wall-clock) — the
     /// smallest stamp is the stalest client, evicted first.
     last_touch: u64,
+    /// A computed-but-unconfirmed delivery: `(connection, sequence)` of
+    /// the latest poll response handed to the HTTP layer.  It commits
+    /// into `cursor` only when the client's *next* poll arrives on the
+    /// same connection (proof the response was read); a next poll from a
+    /// different connection drops it, so a response that died with its
+    /// connection is re-delivered instead of silently skipped.
+    staged: Option<(u64, u64)>,
 }
 
 /// One shard of the client-cursor registry.  Ids map to shards by
@@ -914,6 +921,7 @@ impl SessionHub {
             ClientState {
                 cursor: 0,
                 last_touch: stamp,
+                staged: None,
             },
         );
         inner.client_total.fetch_add(1, Ordering::Relaxed);
@@ -965,16 +973,16 @@ impl SessionHub {
         Some(entry.cursor)
     }
 
-    /// Record that frame `sequence` has been served to `client` (cursors
-    /// only move forward).  Unknown ids are ignored — an evicted client
-    /// keeps polling statelessly until it re-registers.
+    /// Record that `client` provably holds frame `sequence` (cursors only
+    /// move forward).  Unknown ids are ignored — an evicted client keeps
+    /// polling statelessly until it re-registers.
     ///
-    /// Cursor semantics are *at-most-once*: the cursor advances when the
-    /// response is computed, so a frame whose response is lost to a dying
-    /// connection is skipped, not re-delivered.  Clients that need
-    /// loss-proof resumption carry their own explicit `since` (as the
-    /// embedded page does); delivery-acknowledged cursors are a ROADMAP
-    /// follow-up.
+    /// Cursors are *delivery-acknowledged*: this is called when the
+    /// client presents evidence of possession (an explicit `since` on a
+    /// later poll), while a freshly computed response is only *staged*
+    /// ([`SessionHub::stage_cursor`]) until the next poll confirms it
+    /// ([`SessionHub::ack_poll`]).  A frame whose response dies with the
+    /// connection is therefore re-delivered, never silently skipped.
     pub fn update_cursor(&self, client: u64, sequence: u64) {
         let stamp = self.inner.clock.fetch_add(1, Ordering::Relaxed);
         let mut shard = self.shard(client).lock();
@@ -982,6 +990,47 @@ impl SessionHub {
             entry.cursor = entry.cursor.max(sequence);
             entry.last_touch = stamp;
         }
+    }
+
+    /// Stage a computed-but-unconfirmed delivery of frame `sequence` to
+    /// `client` over `connection`.  The cursor itself does not move; the
+    /// stage commits on the client's next poll from the same connection
+    /// (advance-on-next-poll) and is dropped — forcing re-delivery — if
+    /// the next poll arrives on a different connection, which is exactly
+    /// what happens when a response dies with its socket.
+    pub fn stage_cursor(&self, client: u64, connection: u64, sequence: u64) {
+        let stamp = self.inner.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(client).lock();
+        if let Some(entry) = shard.clients.get_mut(&client) {
+            entry.staged = match entry.staged {
+                // Same connection: responses are serialized on it, so a
+                // later stage supersedes (and implies receipt of) an
+                // earlier one — keep the maximum to stay monotone.
+                Some((conn, seq)) if conn == connection => Some((connection, seq.max(sequence))),
+                _ => Some((connection, sequence)),
+            };
+            entry.last_touch = stamp;
+        }
+    }
+
+    /// A poll from `client` arrived on `connection`: resolve any staged
+    /// delivery.  Same connection → the previous response was read before
+    /// this request was sent, so the stage commits into the cursor.
+    /// Different connection → the previous response's fate is unknown
+    /// (its socket is gone), so the stage is dropped and the frame will
+    /// be re-delivered.  Returns the committed cursor, `None` for
+    /// unknown/evicted clients.
+    pub fn ack_poll(&self, client: u64, connection: u64) -> Option<u64> {
+        let stamp = self.inner.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(client).lock();
+        let entry = shard.clients.get_mut(&client)?;
+        if let Some((conn, sequence)) = entry.staged.take() {
+            if conn == connection {
+                entry.cursor = entry.cursor.max(sequence);
+            }
+        }
+        entry.last_touch = stamp;
+        Some(entry.cursor)
     }
 
     /// Number of registered clients.
@@ -1631,6 +1680,30 @@ mod tests {
         // Updates for evicted ids are ignored, not resurrected.
         hub.update_cursor(b, 5);
         assert_eq!(hub.client_cursor(b), None);
+    }
+
+    #[test]
+    fn staged_cursors_commit_on_same_connection_only() {
+        let hub = SessionHub::with_limits(8, 4);
+        let c = hub.register_client();
+        hub.stage_cursor(c, 7, 3);
+        assert_eq!(
+            hub.client_cursor(c),
+            Some(0),
+            "a staged delivery must not move the committed cursor"
+        );
+        // The next poll arrives on a *different* connection: the staged
+        // response died with its socket, so it is dropped, not committed.
+        assert_eq!(hub.ack_poll(c, 9), Some(0));
+        // Same connection: a later stage supersedes monotonically and the
+        // next poll commits it.
+        hub.stage_cursor(c, 9, 3);
+        hub.stage_cursor(c, 9, 4);
+        assert_eq!(hub.ack_poll(c, 9), Some(4));
+        assert_eq!(hub.client_cursor(c), Some(4));
+        // Unknown clients: staging is ignored, acking reports None.
+        hub.stage_cursor(999, 1, 1);
+        assert_eq!(hub.ack_poll(999, 1), None);
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //!   `/api/client`, `/api/frame`, `/api/poll`, `/api/steer`) and serving
 //!   the embedded single-page client,
 //! * [`page`] — the embedded HTML/JavaScript page (plain `XMLHttpRequest`
-//!   long polling in delta mode, no external assets).
+//!   long polling in delta mode, no external assets),
+//! * [`multi`] — many sessions behind one server: a live registry of
+//!   per-session hubs/inboxes dispatched under `/s/<id>/...` routes.
 //!
 //! The front end is exercised end-to-end by `examples/web_steering.rs`,
 //! which steers a live `ricsa-hydro` simulation from the browser (or from
@@ -29,11 +31,13 @@
 
 pub mod http;
 pub mod hub;
+pub mod multi;
 pub mod page;
 pub mod readiness;
 pub mod server;
 
 pub use http::{HttpRequest, HttpResponse, HttpServer, HttpServerConfig, Outcome};
 pub use hub::{Frame, FramePayload, PollMode, SessionHub, SteeringInbox};
+pub use multi::{MultiFrontEnd, SessionEndpoints};
 pub use readiness::{Backend, Waker};
 pub use server::{FrontEndConfig, FrontEndServer};

@@ -193,7 +193,10 @@ impl Reactor {
     /// Park a connection that made no progress this visit.  Returns the
     /// connection back (`Err`) when parking is refused — a publish raced
     /// the visit, or the kernel rejected the registration — in which case
-    /// the caller requeues it for an immediate re-visit.
+    /// the caller requeues it for an immediate re-visit.  The large
+    /// `Err` variant is the point: a refused park must hand the whole
+    /// connection back by value, not a reference into the registry.
+    #[allow(clippy::result_large_err)]
     pub(crate) fn try_park(&self, conn: Conn, gen_at_visit: u64) -> Result<(), Conn> {
         let now = Instant::now();
         let wake_on_publish = conn.pending.is_some();

@@ -10,9 +10,13 @@
 //!   long-poll for the next frame newer than `N` (the `XMLHttpRequest`
 //!   object-exchange of the paper).  `mode=delta` ships only the changed
 //!   image tiles when the client is exactly one frame behind; `client=ID`
-//!   lets the hub supply `since` from the stored cursor and advance it on
-//!   delivery.  The long poll never blocks a server worker: the route
-//!   returns a deferred [`Outcome::Pending`] the pool re-polls,
+//!   lets the hub supply `since` from the stored cursor.  Cursors are
+//!   delivery-acknowledged: a computed response is only *staged*, and
+//!   commits when the client's next poll arrives on the same connection
+//!   (or carries an explicit `since`), so a response that dies with its
+//!   socket is re-delivered rather than skipped.  The long poll never
+//!   blocks a server worker: the route returns a deferred
+//!   [`Outcome::Pending`] the pool re-polls,
 //! * `GET /api/frame` — the latest frame immediately (or 404),
 //! * `GET /api/stats` — server-side backpressure metrics (run-queue depth,
 //!   worker rotation latency, per-visit service time, parked long-polls),
@@ -189,12 +193,25 @@ pub fn route(
                 _ => PollMode::Full,
             };
             let client: Option<u64> = req.query_param("client").and_then(|s| s.parse().ok());
-            let since: u64 = match req.query_param("since").and_then(|s| s.parse().ok()) {
+            let explicit_since: Option<u64> = req.query_param("since").and_then(|s| s.parse().ok());
+            // Delivery acknowledgement happens here, on poll *arrival*:
+            // an explicit `since` is direct evidence the client holds
+            // that frame, and any staged delivery from this client's
+            // previous poll commits only if this request arrived on the
+            // same connection (otherwise the response died with its
+            // socket and the frame must be re-delivered).
+            let acked_cursor = client.and_then(|c| {
+                if let Some(n) = explicit_since {
+                    hub.update_cursor(c, n);
+                }
+                hub.ack_poll(c, req.connection)
+            });
+            let since: u64 = match explicit_since {
                 Some(n) => n,
-                // No explicit `since`: fall back to the stored cursor (0
-                // for unknown/evicted clients, delivering the oldest
-                // retained frame).
-                None => client.and_then(|c| hub.client_cursor(c)).unwrap_or(0),
+                // No explicit `since`: fall back to the acknowledged
+                // cursor (0 for unknown/evicted clients, delivering the
+                // oldest retained frame).
+                None => acked_cursor.unwrap_or(0),
             };
             let timeout_ms: u64 = req
                 .query_param("timeout_ms")
@@ -203,12 +220,16 @@ pub fn route(
                 .min(60_000);
             let deadline = Instant::now() + Duration::from_millis(timeout_ms);
             let hub = hub.clone();
+            let connection = req.connection;
             // Deferred response: the HTTP pool re-polls this closure until
             // a frame arrives or the deadline passes.  No worker blocks.
             Outcome::Pending(Box::new(move || {
                 if let Some(payload) = hub.try_payload(since, mode) {
                     if let Some(client) = client {
-                        hub.update_cursor(client, payload.sequence);
+                        // Stage, don't commit: the cursor advances only
+                        // when the client's next poll on this connection
+                        // proves the response was actually read.
+                        hub.stage_cursor(client, connection, payload.sequence);
                     }
                     return Some(HttpResponse::json_shared(payload.json));
                 }
@@ -245,6 +266,10 @@ mod tests {
     use std::collections::HashMap;
 
     fn get(path: &str, query: &[(&str, &str)]) -> HttpRequest {
+        get_on(path, query, 0)
+    }
+
+    fn get_on(path: &str, query: &[(&str, &str)], connection: u64) -> HttpRequest {
         HttpRequest {
             method: "GET".into(),
             path: path.into(),
@@ -255,6 +280,7 @@ mod tests {
                 .collect(),
             headers: HashMap::new(),
             body: vec![],
+            connection,
         }
     }
 
@@ -410,6 +436,108 @@ mod tests {
         assert!(value["sequence"].is_null());
     }
 
+    /// The delivery-acknowledged-cursor regression (ROADMAP follow-up): a
+    /// poll response computed for a connection that dies undelivered must
+    /// be re-delivered on the client's next poll, not silently skipped.
+    #[test]
+    fn cursor_driven_poll_redelivers_after_a_connection_change() {
+        let hub = SessionHub::default();
+        let inbox = SteeringInbox::new();
+        let metrics = PoolMetrics::default();
+        let reg = resolve(route(&hub, &inbox, &metrics, get("/api/client", &[])));
+        let value: serde_json::Value = serde_json::from_slice(reg.body.as_bytes()).unwrap();
+        let client = value["client"].as_u64().unwrap().to_string();
+        hub.publish(sample_frame());
+        let poll = |conn: u64| {
+            let resp = resolve(route(
+                &hub,
+                &inbox,
+                &metrics,
+                get_on(
+                    "/api/poll",
+                    &[("client", client.as_str()), ("timeout_ms", "10")],
+                    conn,
+                ),
+            ));
+            let value: serde_json::Value = serde_json::from_slice(resp.body.as_bytes()).unwrap();
+            value["sequence"].clone()
+        };
+        // Frame 1 is computed for connection 7 — but the next poll comes
+        // from connection 9: the response evidently died with socket 7,
+        // so the same frame is served again.
+        assert_eq!(poll(7), serde_json::json!(1));
+        assert_eq!(poll(9), serde_json::json!(1), "must re-deliver");
+        // Polling again on connection 9 acknowledges it; now it times out.
+        assert!(poll(9).is_null());
+    }
+
+    /// Wire-level version of the same regression: the socket carrying the
+    /// poll response is killed before reading; a fresh connection's
+    /// cursor-driven poll must receive the frame again.
+    #[test]
+    fn killed_socket_mid_response_forces_redelivery() {
+        use crate::http::read_blocking_response;
+        use std::io::{BufReader, Write};
+        let server = FrontEndServer::start("127.0.0.1:0").unwrap();
+        let hub = server.hub();
+        // Register a client over a throwaway connection.
+        let stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writer
+            .write_all(b"GET /api/client HTTP/1.1\r\nHost: l\r\n\r\n")
+            .unwrap();
+        let (_, _, body) = read_blocking_response(&mut reader).unwrap();
+        let value: serde_json::Value = serde_json::from_slice(&body).unwrap();
+        let client = value["client"].as_u64().unwrap();
+        drop(reader);
+        drop(writer);
+        hub.publish(sample_frame());
+        // The doomed connection: send the poll, kill the socket without
+        // ever reading the response.
+        let doomed = std::net::TcpStream::connect(server.addr()).unwrap();
+        let mut w = doomed.try_clone().unwrap();
+        w.write_all(
+            format!("GET /api/poll?client={client}&timeout_ms=2000 HTTP/1.1\r\nHost: l\r\n\r\n")
+                .as_bytes(),
+        )
+        .unwrap();
+        // Give the server time to compute (and stage) the response, then
+        // kill the socket with the response unread.
+        std::thread::sleep(Duration::from_millis(150));
+        drop(w);
+        drop(doomed);
+        // A fresh connection polls with the stored cursor: the staged
+        // delivery belonged to the dead connection, so frame 1 comes
+        // again instead of being skipped.
+        let stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writer
+            .write_all(
+                format!(
+                    "GET /api/poll?client={client}&timeout_ms=2000 HTTP/1.1\r\nHost: l\r\n\r\n"
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        let (status, _, body) = read_blocking_response(&mut reader).unwrap();
+        assert_eq!(status, 200);
+        let value: serde_json::Value = serde_json::from_slice(&body).unwrap();
+        assert_eq!(
+            value["sequence"],
+            serde_json::json!(1),
+            "frame whose response died with the socket must be re-delivered, got {value:?}"
+        );
+        server.shutdown();
+    }
+
     #[test]
     fn steering_route_sanitizes_and_queues_parameters() {
         let hub = SessionHub::default();
@@ -426,6 +554,7 @@ mod tests {
             query: HashMap::new(),
             headers: HashMap::new(),
             body: body.to_string().into_bytes(),
+            connection: 0,
         };
         let resp = resolve(route(&hub, &inbox, &metrics, req));
         assert_eq!(resp.status, 200);
@@ -443,6 +572,7 @@ mod tests {
             query: HashMap::new(),
             headers: HashMap::new(),
             body: b"not json".to_vec(),
+            connection: 0,
         };
         assert_eq!(resolve(route(&hub, &inbox, &metrics, bad)).status, 400);
     }
